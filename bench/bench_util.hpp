@@ -1,0 +1,49 @@
+// Shared support for the experiment harnesses: paper-style table output,
+// run-count control, and common topology builders.
+//
+// Each bench binary regenerates one table or figure of the paper and
+// prints (a) the measured series, (b) the paper's reference values, and
+// (c) PASS/FAIL qualitative shape checks. Set XEMEM_BENCH_RUNS to override
+// the per-configuration repetition count (the simulator is deterministic
+// given a seed, so repetitions exist to sample the seeded noise models,
+// not hardware jitter).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace xemem::bench {
+
+inline int runs_override(int default_runs) {
+  if (const char* env = std::getenv("XEMEM_BENCH_RUNS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return default_runs;
+}
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper reference: %s\n\n", paper_ref);
+}
+
+/// A qualitative shape assertion, reported PASS/FAIL (benches exit nonzero
+/// if any check fails, so CI catches shape regressions).
+class ShapeChecks {
+ public:
+  void expect(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) failed_ = true;
+  }
+  bool all_passed() const { return !failed_; }
+  int exit_code() const { return failed_ ? 1 : 0; }
+
+ private:
+  bool failed_{false};
+};
+
+}  // namespace xemem::bench

@@ -1,0 +1,103 @@
+// Checkpoint service: node-wide discovery and snapshotting.
+//
+// A management-enclave service uses the name server's discoverability
+// (paper section 3.1: "the name server can be queried for information
+// regarding the existence and names of shared memory regions") to find
+// *every* published region on the node — regardless of which enclave owns
+// it — attach each one read-only (the XPMEM permission model), copy a
+// consistent snapshot, and detach. The data producers are a native Kitten
+// application, a process in a Palacios VM, and a native Linux process;
+// none of them knows the checkpoint service exists.
+//
+// Run: ./build/examples/checkpoint_service
+#include <cstdio>
+#include <numeric>
+
+#include "common/units.hpp"
+#include "xemem/system.hpp"
+
+using namespace xemem;
+
+namespace {
+
+sim::Task<void> publish_state(Node& node, const std::string& enclave,
+                              const std::string& name, u64 bytes, u8 fill) {
+  os::Process* p = node.enclave(enclave).create_process(bytes + kPageSize).value();
+  std::vector<u8> data(4096, fill);
+  for (u64 off = 0; off < bytes; off += data.size()) {
+    XEMEM_ASSERT(node.enclave(enclave)
+                     .proc_write(*p, p->image_base() + off, data.data(),
+                                 std::min<u64>(data.size(), bytes - off))
+                     .ok());
+  }
+  auto sid = co_await node.kernel(enclave).xpmem_make(*p, p->image_base(), bytes,
+                                                      name, AccessMode::read_only);
+  XEMEM_ASSERT(sid.ok());
+  std::printf("  %-8s published '%s' (%llu KiB, read-only)\n", enclave.c_str(),
+              name.c_str(), (unsigned long long)(bytes >> 10));
+}
+
+sim::Task<void> demo(Node& node) {
+  co_await node.start();
+  std::printf("producers exporting application state:\n");
+  co_await publish_state(node, "kitten0", "sim/mesh", 2_MiB, 0xAA);
+  co_await publish_state(node, "vm0", "viz/framebuffer", 1_MiB, 0xBB);
+  co_await publish_state(node, "linux", "io/staging", 512_KiB, 0xCC);
+
+  // The checkpoint service: enumerate the global name space, snapshot all.
+  auto& svc_kernel = node.kernel("linux");
+  os::Process* svc = node.enclave("linux").create_process(1_MiB).value();
+  auto listing = co_await svc_kernel.xpmem_list();
+  XEMEM_ASSERT(listing.ok());
+  std::printf("\ncheckpoint service discovered %zu published regions:\n",
+              listing.value().size());
+
+  u64 total = 0;
+  const u64 t0 = sim::now();
+  for (const auto& [name, segid] : listing.value()) {
+    auto grant = co_await svc_kernel.xpmem_get(segid, AccessMode::read_only);
+    XEMEM_ASSERT(grant.ok());
+    auto att = co_await svc_kernel.xpmem_attach(*svc, grant.value(), 0,
+                                                grant.value().size);
+    XEMEM_ASSERT(att.ok());
+    co_await node.enclave("linux").touch_attached(*svc, att.value().va,
+                                                  att.value().pages);
+
+    // Snapshot: stream the region out (charged) and verify a sample.
+    std::vector<u8> sample(64);
+    XEMEM_ASSERT(
+        node.enclave("linux").proc_read(*svc, att.value().va, sample.data(), 64).ok());
+    const u64 sum = std::accumulate(sample.begin(), sample.end(), u64{0});
+    co_await node.enclave("linux").membw().transfer(grant.value().size);
+    total += grant.value().size;
+
+    std::printf("  '%s': segid %llu, %7llu KiB, sample-byte 0x%02x, snapshot ok\n",
+                name.c_str(), (unsigned long long)segid.value(),
+                (unsigned long long)(grant.value().size >> 10),
+                static_cast<unsigned>(sum / 64));
+
+    // Writes are impossible under the read-only grant.
+    u8 evil = 0;
+    XEMEM_ASSERT(node.enclave("linux").proc_write(*svc, att.value().va, &evil, 1)
+                     .error() == Errc::permission_denied);
+    XEMEM_ASSERT((co_await svc_kernel.xpmem_detach(*svc, att.value())).ok());
+    XEMEM_ASSERT((co_await svc_kernel.xpmem_release(grant.value())).ok());
+  }
+  std::printf("\nsnapshot of %llu KiB across 3 enclaves in %.2f ms (simulated); "
+              "producers were never modified (PTE-enforced read-only)\n",
+              (unsigned long long)(total >> 10), ns_to_s(sim::now() - t0) * 1e3);
+  std::printf("pinned frames after service pass: %llu\n",
+              (unsigned long long)node.machine().pmem().total_refs());
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine(5);
+  Node node(hw::Machine::r420());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  node.add_cokernel("kitten0", 0, {6, 7}, 64_MiB);
+  node.add_vm("vm0", "linux", 64_MiB, {4, 5});
+  engine.run(demo(node));
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Always-on assertion macros.
+//
+// Simulation correctness bugs (double-freed frames, page-table corruption,
+// routing loops) must fail loudly in every build type, so these do not
+// compile out under NDEBUG the way <cassert> does.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xemem::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "XEMEM_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace xemem::detail
+
+/// Abort with a diagnostic if @p expr is false. Never compiled out.
+#define XEMEM_ASSERT(expr)                                                   \
+  do {                                                                       \
+    if (!(expr)) ::xemem::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like XEMEM_ASSERT but with an explanatory message.
+#define XEMEM_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                         \
+    if (!(expr)) ::xemem::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Unconditional failure for unreachable code paths.
+#define XEMEM_PANIC(msg) ::xemem::detail::assert_fail("panic", __FILE__, __LINE__, msg)

@@ -1,0 +1,141 @@
+// Calibrated cost model for the XEMEM simulation.
+//
+// Every XEMEM/OS/VMM operation in this repository executes for real on
+// real data structures (page tables, red-black trees, channels) and then
+// charges simulated time from the constants below. The constants are
+// calibrated so the *magnitudes* land near the paper's reported numbers on
+// its 2.1 GHz Xeon platform; the *shapes* (who wins, crossovers, scaling)
+// then emerge from the mechanisms rather than from curve fitting.
+//
+// Key calibration anchors (derivations inline below):
+//  * Figure 5:  native cross-enclave attach ~13 GB/s, attach+read ~12 GB/s,
+//               RDMA/QDR-IB ~3.4 GB/s.
+//  * Figure 7:  1 GiB attachment service detour 23-24 ms on Kitten,
+//               2 MiB ~45 us, 4 KiB below the 12 us noise floor.
+//  * Table 2:   Kitten->Linux 12.8 GB/s; Kitten->Linux-VM 3.99 GB/s with
+//               rb-tree inserts, 8.79 GB/s without; Linux-VM->Kitten
+//               12.6 GB/s.
+#pragma once
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace xemem::costs {
+
+// ---------------------------------------------------------------------------
+// Page-table mechanics (native kernel on a ~2 GHz Xeon).
+//
+// A 4 KiB page walk visits 4 paging-structure entries. With 22 ns per
+// entry a 1 GiB walk costs 262144 x 4 x 22 ns = 23.1 ms — which is both
+// the Figure 7 detour band for 1 GiB attachments (23,000-24,000 us) and
+// the exporter-side share of the Figure 5 attach path.
+inline constexpr u64 kPtEntryVisit = 22_ns;
+
+// Kitten's address-space bookkeeping per mapped page beyond the raw entry
+// writes (the LWK keeps region lists, no VMA machinery): small.
+inline constexpr u64 kKittenMapPerPage = 25_ns;
+
+// Linux vm_mmap + remap_pfn_range bookkeeping per page (VMA maintenance,
+// accounting, TLB shoot-down amortization). Calibration: the Figure 5
+// attach path is  walk(23.1 ms) + channel(0.65 ms) + linux map
+// (262144 x (4 x 22 + 120) ns = 54.5 ms)  ~= 78.3 ms per 1 GiB
+// => 13.1 GB/s, matching the reported ~13 GB/s plateau.
+inline constexpr u64 kLinuxMapPerPage = 120_ns;
+
+// get_user_pages pinning per page on the Linux export path.
+inline constexpr u64 kLinuxPinPerPage = 60_ns;
+
+// Demand-fault cost per page (trap, VMA lookup under mmap_sem, PTE
+// install, return — ~1.5 us under concurrent mm activity on the paper's
+// hardware generation). Single-OS Linux XEMEM attachments install
+// mappings lazily with page-fault semantics (paper section 6.4 blames this
+// for the Linux-only recurring-attachment overhead); first touch of each
+// attached page pays this.
+inline constexpr u64 kLinuxFaultPerPage = 1500_ns;
+
+// ---------------------------------------------------------------------------
+// Cross-enclave channels.
+
+// Pisces IPI channel (paper section 4.5): vector latency until the handler
+// starts, the handler's own execution (stolen from the destination core —
+// always core 0 of the Linux management enclave in the stock co-kernel
+// design, the source of the Figure 6 contention dip), and the shared-
+// memory window through which messages are copied in 64 KiB chunks.
+inline constexpr u64 kIpiLatency = 1200_ns;
+inline constexpr u64 kIpiHandlerCost = 2_us;
+inline constexpr u64 kChannelChunk = 64 * 1024;
+inline constexpr double kChannelCopyBytesPerNs = 8.0;  // kernel memcpy
+
+// Interference factor applied to Linux per-page map work while more than
+// one XEMEM attachment is in flight inside one Linux enclave: shared mm
+// structures (mmap_sem, page-table pages) bounce between cores. This is a
+// presence effect, not a proportional one — the paper observes a dip from
+// 1 to 2 enclaves and flat scaling beyond (section 5.3).
+inline constexpr double kLinuxSmpInterference = 0.08;
+
+// ---------------------------------------------------------------------------
+// Palacios VMM (paper sections 4.4, 5.4).
+
+// World switch: interrupt injection into the guest or hypercall exit.
+inline constexpr u64 kVmEntryExit = 1600_ns;
+
+// Virtual PCI device window copy bandwidth (PFN lists staged through it).
+inline constexpr double kPciWindowBytesPerNs = 8.0;
+
+// Red-black tree memory-map charges, per structural step counted by the
+// real tree. Calibration: Table 2 attributes 250.6 - 113.8 = 136.8 ms of
+// a 1 GiB guest attachment to rb-tree inserts, i.e. ~522 ns per insert.
+// The instrumented tree reports ~65 steps per insert at 262144 entries
+// (overlap-check descent + insert descent + recolorings), so ~8 ns per
+// step — a cache-resident pointer chase — hits the target:
+//   65 x 8 + 0.6 x 25 ~= 535 ns.
+inline constexpr u64 kRbStepCost = 8_ns;
+inline constexpr u64 kRbRotationCost = 25_ns;
+
+// Radix-map step (the paper's proposed future-work structure): a fixed
+// 4-level descent with no re-balancing, cheaper per step (no comparisons).
+inline constexpr u64 kRadixStepCost = 6_ns;
+
+// Extra per-page cost of installing guest mappings from inside a VM
+// (nested-paging maintenance on every guest PTE update). Calibration:
+// without rb-tree inserts, Table 2 reports 8.79 GB/s for a 1 GiB guest
+// attachment => ~113.8 ms total; the native-path components sum to
+// ~78.5 ms, leaving ~35 ms / 262144 pages = ~135 ns per page.
+inline constexpr u64 kVmGuestMapExtraPerPage = 135_ns;
+
+// ---------------------------------------------------------------------------
+// XEMEM control plane.
+
+// Name-server segid allocation / lookup processing.
+inline constexpr u64 kNameServerOp = 3_us;
+// Per-hop command routing cost (map lookup + forward).
+inline constexpr u64 kRouteHop = 1500_ns;
+
+// ---------------------------------------------------------------------------
+// Attach+read modeling (Figure 5 "XEMEM Attach + Read").
+//
+// The measured gap between attach (13 GB/s) and attach+read (12 GB/s) on a
+// 1 GiB region implies the read pass adds only ~6.4 ms — far less than
+// streaming 1 GiB through DRAM — so the benchmark's "read out the memory
+// contents" is modeled as a per-page verification touch (one cache line
+// per page) rather than a full stream: 64 B at socket bandwidth plus loop
+// overhead per page.
+inline constexpr u64 kReadTouchBytesPerPage = 64;
+inline constexpr u64 kReadLoopPerPage = 15_ns;
+
+// ---------------------------------------------------------------------------
+// RDMA / Infiniband (Figure 5 comparison).
+//
+// QDR 4x Infiniband: 32 Gbit/s signalling, 8b/10b encoding => 3.2 GB/s
+// payload ceiling; the paper measures "slightly less than 3.5 GB/s" with
+// large MTU writes, so the model uses a 3.4 B/ns effective link rate with
+// a small per-operation initiation cost.
+inline constexpr double kIbLinkBytesPerNs = 3.4;
+inline constexpr u64 kIbPostOverhead = 1500_ns;
+inline constexpr u64 kIbMtu = 4096;
+inline constexpr u64 kIbPerMtuOverhead = 60_ns;  // headers/credits per MTU
+
+// Cluster interconnect latency for multi-node collectives (section 7).
+inline constexpr u64 kIbEndToEndLatency = 1800_ns;
+
+}  // namespace xemem::costs

@@ -1,0 +1,51 @@
+// Minimal leveled logging.
+//
+// Default level is `warn` so tests and benches run quietly; examples raise
+// it to `info` to narrate the protocol, and `trace` dumps every simulation
+// event for debugging. Controlled globally (the simulator is single-threaded
+// by construction, so no synchronization is needed).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace xemem {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+namespace detail {
+inline LogLevel g_log_level = LogLevel::warn;
+}
+
+inline void set_log_level(LogLevel lvl) { detail::g_log_level = lvl; }
+inline LogLevel log_level() { return detail::g_log_level; }
+
+namespace detail {
+
+inline void vlog(LogLevel lvl, const char* tag, const char* fmt, std::va_list ap) {
+  if (lvl < g_log_level) return;
+  static const char* names[] = {"TRACE", "DEBUG", "INFO ", "WARN ", "ERROR"};
+  std::fprintf(stderr, "[%s] %s: ", names[static_cast<int>(lvl)], tag);
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+}
+
+inline void log(LogLevel lvl, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+inline void log(LogLevel lvl, const char* tag, const char* fmt, ...) {
+  if (lvl < g_log_level) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  vlog(lvl, tag, fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace detail
+}  // namespace xemem
+
+#define XLOG_TRACE(tag, ...) ::xemem::detail::log(::xemem::LogLevel::trace, tag, __VA_ARGS__)
+#define XLOG_DEBUG(tag, ...) ::xemem::detail::log(::xemem::LogLevel::debug, tag, __VA_ARGS__)
+#define XLOG_INFO(tag, ...) ::xemem::detail::log(::xemem::LogLevel::info, tag, __VA_ARGS__)
+#define XLOG_WARN(tag, ...) ::xemem::detail::log(::xemem::LogLevel::warn, tag, __VA_ARGS__)
+#define XLOG_ERROR(tag, ...) ::xemem::detail::log(::xemem::LogLevel::error, tag, __VA_ARGS__)

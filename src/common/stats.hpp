@@ -1,0 +1,130 @@
+// Streaming and exact statistics used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace xemem {
+
+/// Welford streaming mean/variance — O(1) memory, numerically stable.
+/// Used where the harness only needs mean ± stddev (e.g. the error bars in
+/// the paper's Figures 8 and 9).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  u64 count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  u64 n_{0};
+  double mean_{0};
+  double m2_{0};
+  double min_{0};
+  double max_{0};
+};
+
+/// Exact sample collector with percentiles — used by the noise-profile
+/// harness (Figure 7) where the distribution's tail is the whole point.
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(size_t n) { xs_.reserve(n); }
+  size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  const std::vector<double>& values() const { return xs_; }
+
+  double mean() const {
+    double s = 0;
+    for (double x : xs_) s += x;
+    return xs_.empty() ? 0.0 : s / static_cast<double>(xs_.size());
+  }
+
+  /// Percentile by linear interpolation on the sorted sample, q in [0, 100].
+  double percentile(double q) {
+    XEMEM_ASSERT(!xs_.empty());
+    sort();
+    const double rank = q / 100.0 * static_cast<double>(xs_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, xs_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs_[lo] + frac * (xs_[hi] - xs_[lo]);
+  }
+
+  double min() {
+    XEMEM_ASSERT(!xs_.empty());
+    sort();
+    return xs_.front();
+  }
+  double max() {
+    XEMEM_ASSERT(!xs_.empty());
+    sort();
+    return xs_.back();
+  }
+
+ private:
+  void sort() {
+    if (!sorted_) {
+      std::sort(xs_.begin(), xs_.end());
+      sorted_ = true;
+    }
+  }
+  std::vector<double> xs_;
+  bool sorted_{true};
+};
+
+/// Fixed-bucket histogram over a log scale; prints ASCII sparklines in the
+/// Figure-7 harness.
+class LogHistogram {
+ public:
+  /// Buckets are decades/sub-decades over [lo, hi); values are clamped.
+  LogHistogram(double lo, double hi, int buckets_per_decade = 4)
+      : lo_(lo), hi_(hi), bpd_(buckets_per_decade) {
+    XEMEM_ASSERT(lo > 0 && hi > lo);
+    const double decades = std::log10(hi / lo);
+    counts_.assign(static_cast<size_t>(std::ceil(decades * bpd_)) + 1, 0);
+  }
+
+  void add(double x) {
+    x = std::clamp(x, lo_, hi_);
+    auto idx = static_cast<size_t>(std::log10(x / lo_) * bpd_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+  }
+
+  size_t buckets() const { return counts_.size(); }
+  u64 count_at(size_t i) const { return counts_[i]; }
+  /// Lower edge of bucket @p i.
+  double edge(size_t i) const {
+    return lo_ * std::pow(10.0, static_cast<double>(i) / bpd_);
+  }
+
+ private:
+  double lo_, hi_;
+  int bpd_;
+  std::vector<u64> counts_;
+};
+
+}  // namespace xemem

@@ -1,0 +1,130 @@
+// Core integer and address types shared by every module.
+//
+// The simulated machine uses x86-64-style addressing: 4 KiB base pages,
+// 64-bit virtual and physical addresses. Physical frame numbers (PFNs)
+// index frames of the simulated physical memory arena (see hw/phys_mem.hpp).
+// Strong typedefs keep guest-physical, host-physical, and virtual addresses
+// from being mixed up across the VMM translation layers.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace xemem {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Base page size of the simulated machine (x86-64 4 KiB pages).
+inline constexpr u64 kPageSize = 4096;
+inline constexpr u64 kPageShift = 12;
+inline constexpr u64 kPageMask = kPageSize - 1;
+
+/// Round @p x down / up to a page boundary.
+constexpr u64 page_align_down(u64 x) { return x & ~kPageMask; }
+constexpr u64 page_align_up(u64 x) { return (x + kPageMask) & ~kPageMask; }
+/// Number of pages needed to cover @p bytes.
+constexpr u64 pages_for(u64 bytes) { return page_align_up(bytes) >> kPageShift; }
+
+namespace detail {
+
+/// CRTP strong integer wrapper: comparable, hashable, explicit-constructed.
+/// Arithmetic is deliberately restricted to offsetting so that, e.g., two
+/// addresses cannot be multiplied by accident. Offset operators return the
+/// derived type so `pfn + 1` is still a Pfn.
+template <typename Derived>
+struct StrongU64 {
+  u64 v{0};
+
+  constexpr StrongU64() = default;
+  constexpr explicit StrongU64(u64 value) : v(value) {}
+
+  constexpr u64 value() const { return v; }
+  constexpr auto operator<=>(const StrongU64&) const = default;
+
+  constexpr Derived operator+(u64 off) const { return Derived{v + off}; }
+  constexpr Derived operator-(u64 off) const { return Derived{v - off}; }
+  constexpr u64 operator-(StrongU64 other) const { return v - other.v; }
+  constexpr Derived& operator+=(u64 off) {
+    v += off;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+}  // namespace detail
+
+/// Host-physical address within the simulated machine's memory arena.
+struct HostPaddr : detail::StrongU64<HostPaddr> {
+  using StrongU64::StrongU64;
+};
+
+/// Guest-physical address within a Palacios VM.
+struct GuestPaddr : detail::StrongU64<GuestPaddr> {
+  using StrongU64::StrongU64;
+};
+
+/// Virtual address within some process address space (host or guest).
+struct Vaddr : detail::StrongU64<Vaddr> {
+  using StrongU64::StrongU64;
+};
+
+/// Host-physical frame number: HostPaddr >> kPageShift.
+struct Pfn : detail::StrongU64<Pfn> {
+  using StrongU64::StrongU64;
+  constexpr HostPaddr paddr() const { return HostPaddr{v << kPageShift}; }
+  static constexpr Pfn of(HostPaddr pa) { return Pfn{pa.value() >> kPageShift}; }
+};
+
+/// Guest-physical frame number: GuestPaddr >> kPageShift.
+struct Gfn : detail::StrongU64<Gfn> {
+  using StrongU64::StrongU64;
+  constexpr GuestPaddr paddr() const { return GuestPaddr{v << kPageShift}; }
+  static constexpr Gfn of(GuestPaddr pa) { return Gfn{pa.value() >> kPageShift}; }
+};
+
+/// Globally unique shared-memory segment identifier, allocated by the
+/// XEMEM name server (paper section 3.1). Value 0 is reserved as invalid.
+struct Segid : detail::StrongU64<Segid> {
+  using StrongU64::StrongU64;
+  constexpr bool valid() const { return v != 0; }
+};
+
+/// Globally unique enclave identifier, allocated by the name server via
+/// the hierarchical routing protocol (paper section 3.2).
+/// Value 0 is the name-server enclave itself; ~0 is invalid/unassigned.
+struct EnclaveId : detail::StrongU64<EnclaveId> {
+  using StrongU64::StrongU64;
+  static constexpr EnclaveId invalid() { return EnclaveId{~u64{0}}; }
+  constexpr bool valid() const { return v != ~u64{0}; }
+};
+
+}  // namespace xemem
+
+template <>
+struct std::hash<xemem::HostPaddr> {
+  size_t operator()(xemem::HostPaddr a) const { return std::hash<xemem::u64>{}(a.v); }
+};
+template <>
+struct std::hash<xemem::Vaddr> {
+  size_t operator()(xemem::Vaddr a) const { return std::hash<xemem::u64>{}(a.v); }
+};
+template <>
+struct std::hash<xemem::Pfn> {
+  size_t operator()(xemem::Pfn a) const { return std::hash<xemem::u64>{}(a.v); }
+};
+template <>
+struct std::hash<xemem::Segid> {
+  size_t operator()(xemem::Segid a) const { return std::hash<xemem::u64>{}(a.v); }
+};
+template <>
+struct std::hash<xemem::EnclaveId> {
+  size_t operator()(xemem::EnclaveId a) const { return std::hash<xemem::u64>{}(a.v); }
+};

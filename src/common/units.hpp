@@ -1,0 +1,29 @@
+// Byte-size and time-unit helpers used throughout the simulator.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace xemem {
+
+inline constexpr u64 operator""_KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr u64 operator""_MiB(unsigned long long v) { return v * 1024ull * 1024; }
+inline constexpr u64 operator""_GiB(unsigned long long v) {
+  return v * 1024ull * 1024 * 1024;
+}
+
+/// Simulated durations are plain nanosecond counts; these literals keep the
+/// cost model readable (e.g. `2_us` instead of `2000`).
+inline constexpr u64 operator""_ns(unsigned long long v) { return v; }
+inline constexpr u64 operator""_us(unsigned long long v) { return v * 1000ull; }
+inline constexpr u64 operator""_ms(unsigned long long v) { return v * 1000000ull; }
+inline constexpr u64 operator""_s(unsigned long long v) { return v * 1000000000ull; }
+
+/// Convert nanoseconds to floating-point seconds (for reporting).
+inline constexpr double ns_to_s(u64 ns) { return static_cast<double>(ns) * 1e-9; }
+/// Throughput in GB/s (decimal GB, as the paper reports) for @p bytes moved
+/// in @p ns simulated nanoseconds.
+inline constexpr double gb_per_s(u64 bytes, u64 ns) {
+  return ns == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(ns);
+}
+
+}  // namespace xemem

@@ -1,0 +1,104 @@
+// Simulated CPU cores with interrupt accounting.
+//
+// A Core models one hardware thread. Two kinds of activity execute on it:
+//
+//  * Interrupt-context work (`run_irq`): IPI handlers, timer ticks, SMIs,
+//    noise-daemon bursts. Handlers are serialized per core — exactly the
+//    property that makes the Pisces channel's core-0 restriction a
+//    contention point (paper section 5.3).
+//  * Application compute (`compute`): workload phases charge virtual CPU
+//    time; any interrupt-context time that lands on the core while a
+//    computation is in flight *steals* from it, extending the computation.
+//    This is the mechanism behind both the OS-noise experiment (Figure 7,
+//    where the selfish-detour loop observes the stolen gaps) and the
+//    variance of the Linux-only in-situ configurations (Figures 8 and 9).
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace xemem::hw {
+
+class Core {
+ public:
+  Core(u32 id, u32 socket) : id_(id), socket_(socket) {}
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  u32 id() const { return id_; }
+  u32 socket() const { return socket_; }
+
+  /// Execute @p d nanoseconds of interrupt-context work on this core.
+  /// Handlers are serialized: if another handler is in flight, this one
+  /// queues behind it. Completes when the handler finishes.
+  ///
+  /// Back-to-back handlers merge into contiguous busy segments; the
+  /// closed-segment accumulator plus the current segment give an exact
+  /// busy-time integral B(t), which compute() uses for precise
+  /// stolen-time accounting.
+  sim::Task<void> run_irq(sim::Duration d) {
+    auto* eng = sim::Engine::current();
+    const sim::TimePoint start = std::max(eng->now(), irq_free_at_);
+    if (start > irq_free_at_) {
+      // Gap since the previous segment: close it.
+      busy_closed_ += irq_free_at_ - seg_start_;
+      seg_start_ = start;
+    }
+    const sim::TimePoint end = start + d;
+    irq_free_at_ = end;
+    stolen_ns_ += d;
+    ++irq_events_;
+    co_await sim::delay_until(end);
+  }
+
+  /// Total interrupt-busy time in [0, t] for t <= now (or t in the
+  /// currently scheduled busy segment).
+  u64 busy_integral(sim::TimePoint t) const {
+    const sim::TimePoint seg_end = std::min(t, irq_free_at_);
+    const u64 current = seg_end > seg_start_ ? seg_end - seg_start_ : 0;
+    return busy_closed_ + current;
+  }
+
+  /// Execute @p work nanoseconds of application compute on this core.
+  /// Interrupt-context time overlapping the computation is stolen from it:
+  /// the task finishes after `work` ns of interrupt-free core time, using
+  /// the exact busy-interval overlap (a handler outliving the window
+  /// blocks the core for its tail but is not double-charged).
+  sim::Task<void> compute(sim::Duration work) {
+    u64 remaining = work;
+    while (remaining > 0) {
+      // If interrupt context currently owns the core, wait it out.
+      if (sim::now() < irq_free_at_) {
+        co_await sim::delay_until(irq_free_at_);
+        continue;
+      }
+      const u64 busy_before = busy_integral(sim::now());
+      co_await sim::delay(remaining);
+      // Re-run exactly the cycles interrupts overlapped with the window.
+      remaining = busy_integral(sim::now()) - busy_before;
+    }
+  }
+
+  /// True if interrupt context currently occupies the core.
+  bool in_irq() const { return sim::Engine::current()->now() < irq_free_at_; }
+
+  /// Cumulative interrupt-context nanoseconds charged to this core.
+  u64 stolen_ns() const { return stolen_ns_; }
+  /// Number of interrupt-context executions.
+  u64 irq_events() const { return irq_events_; }
+  /// Time at which the last queued handler completes.
+  sim::TimePoint irq_free_at() const { return irq_free_at_; }
+
+ private:
+  u32 id_;
+  u32 socket_;
+  sim::TimePoint irq_free_at_{0};
+  sim::TimePoint seg_start_{0};  // start of the current busy segment
+  u64 busy_closed_{0};           // busy time of all closed segments
+  u64 stolen_ns_{0};
+  u64 irq_events_{0};
+};
+
+}  // namespace xemem::hw

@@ -1,0 +1,92 @@
+// The simulated node: NUMA sockets, cores, memory, IPIs.
+//
+// Mirrors the two evaluation platforms of the paper:
+//  * section 5.1: Dell PowerEdge R420 — dual-socket 6-core Xeon with
+//    hyperthreading (24 hardware threads), 2 NUMA sockets x 16 GB.
+//  * section 6.3: Dell OptiPlex — single-socket 4-core i7 with
+//    hyperthreading (8 threads), one memory zone of 8 GB.
+//
+// Each socket owns a FrameZone (its physical memory) and a SharedBandwidth
+// (its memory controller): concurrent streams within a socket contend
+// fairly, while cross-socket traffic is avoided by construction — the
+// paper pins every enclave to a single NUMA domain (sections 5.1, 7.1) and
+// so do the experiment harnesses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "hw/core.hpp"
+#include "hw/ipi.hpp"
+#include "hw/phys_mem.hpp"
+#include "sim/shared_resource.hpp"
+
+namespace xemem::hw {
+
+struct SocketConfig {
+  u32 cores;               ///< hardware threads in this socket
+  u64 memory_bytes;        ///< size of the socket's NUMA zone
+  double mem_bw_bytes_per_ns;  ///< memory controller bandwidth (GB/s == B/ns)
+};
+
+struct MachineConfig {
+  std::vector<SocketConfig> sockets;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg) {
+    u32 core_id = 0;
+    for (u32 s = 0; s < cfg.sockets.size(); ++s) {
+      const auto& sc = cfg.sockets[s];
+      const u32 zone = pmem_.add_zone(sc.memory_bytes);
+      XEMEM_ASSERT(zone == s);
+      bw_.push_back(std::make_unique<sim::SharedBandwidth>(sc.mem_bw_bytes_per_ns));
+      for (u32 c = 0; c < sc.cores; ++c) {
+        cores_.push_back(std::make_unique<Core>(core_id++, s));
+      }
+    }
+  }
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  PhysicalMemory& pmem() { return pmem_; }
+  IpiController& ipi() { return ipi_; }
+
+  u32 core_count() const { return static_cast<u32>(cores_.size()); }
+  Core& core(u32 id) {
+    XEMEM_ASSERT(id < cores_.size());
+    return *cores_[id];
+  }
+
+  u32 socket_count() const { return static_cast<u32>(bw_.size()); }
+  sim::SharedBandwidth& socket_bw(u32 socket) {
+    XEMEM_ASSERT(socket < bw_.size());
+    return *bw_[socket];
+  }
+  FrameZone& zone(u32 socket) { return pmem_.zone(socket); }
+
+  /// Paper section 5.1 platform: dual-socket 6-core Xeon E5 @ 2.1 GHz with
+  /// HT (24 threads), 2 x 16 GB NUMA, interleaving disabled. Per-socket
+  /// sustained memory bandwidth ~12.8 GB/s (2-channel DDR3-1333 class).
+  static MachineConfig r420() {
+    return MachineConfig{{SocketConfig{12, 16ull << 30, 12.8},
+                          SocketConfig{12, 16ull << 30, 12.8}}};
+  }
+
+  /// Paper section 6.3 platform: single-socket 4-core i7 @ 3.4 GHz with HT
+  /// (8 threads), one 8 GB zone, ~14 GB/s sustained.
+  static MachineConfig optiplex() {
+    return MachineConfig{{SocketConfig{8, 8ull << 30, 14.0}}};
+  }
+
+ private:
+  PhysicalMemory pmem_;
+  IpiController ipi_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<sim::SharedBandwidth>> bw_;
+};
+
+}  // namespace xemem::hw

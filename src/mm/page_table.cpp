@@ -1,0 +1,285 @@
+#include "mm/page_table.hpp"
+
+namespace xemem::mm {
+
+Result<void> PageTable::map(Vaddr va, Pfn pfn, PageFlags flags, WalkStats* stats) {
+  if ((va.value() & kPageMask) != 0) return Errc::invalid_argument;
+  WalkStats local;
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    ++nodes_;
+    ++local.tables_allocated;
+  }
+  Node* node = root_.get();
+  for (int level = 4; level >= 2; --level) {
+    const u32 idx = index_at(va, level);
+    ++local.entries_visited;
+    if (level == 2 && (node->pte[idx] & kPresent)) {
+      // A 2 MiB mapping already covers this window.
+      if (stats) *stats += local;
+      return Errc::already_exists;
+    }
+    auto& child = node->children[idx];
+    if (!child) {
+      child = std::make_unique<Node>();
+      ++node->used;
+      ++nodes_;
+      ++local.tables_allocated;
+    }
+    node = child.get();
+  }
+  const u32 idx = index_at(va, 1);
+  ++local.entries_visited;
+  if (node->pte[idx] & kPresent) {
+    if (stats) *stats += local;
+    return Errc::already_exists;
+  }
+  node->pte[idx] = encode(pfn, flags);
+  ++node->used;
+  ++mapped_;
+  if (stats) *stats += local;
+  return {};
+}
+
+Result<void> PageTable::map_large(Vaddr va, Pfn pfn, PageFlags flags,
+                                  WalkStats* stats) {
+  constexpr u64 kLargeBytes = kLargeSpan * kPageSize;
+  if (va.value() % kLargeBytes != 0 || pfn.value() % kLargeSpan != 0) {
+    return Errc::invalid_argument;
+  }
+  WalkStats local;
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    ++nodes_;
+    ++local.tables_allocated;
+  }
+  Node* node = root_.get();
+  for (int level = 4; level >= 3; --level) {
+    const u32 idx = index_at(va, level);
+    ++local.entries_visited;
+    auto& child = node->children[idx];
+    if (!child) {
+      child = std::make_unique<Node>();
+      ++node->used;
+      ++nodes_;
+      ++local.tables_allocated;
+    }
+    node = child.get();
+  }
+  const u32 idx = index_at(va, 2);
+  ++local.entries_visited;
+  if ((node->pte[idx] & kPresent) || node->children[idx]) {
+    // Already a large mapping, or 4 KiB mappings exist inside the window.
+    if (stats) *stats += local;
+    return Errc::already_exists;
+  }
+  node->pte[idx] = encode(pfn, flags) | kLargeBit;
+  ++node->used;
+  mapped_ += kLargeSpan;
+  ++large_;
+  if (stats) *stats += local;
+  return {};
+}
+
+Result<void> PageTable::map_range(Vaddr va, const std::vector<Pfn>& pfns,
+                                  PageFlags flags, WalkStats* stats) {
+  for (u64 i = 0; i < pfns.size(); ++i) {
+    auto r = map(va + i * kPageSize, pfns[i], flags, stats);
+    if (!r.ok()) {
+      // Roll back the partial mapping so failures leave no residue.
+      for (u64 j = 0; j < i; ++j) {
+        (void)unmap(va + j * kPageSize, stats);
+      }
+      return r;
+    }
+  }
+  return {};
+}
+
+Result<void> PageTable::unmap(Vaddr va, WalkStats* stats) {
+  if ((va.value() & kPageMask) != 0) return Errc::invalid_argument;
+  WalkStats local;
+  Node* path[4] = {nullptr, nullptr, nullptr, nullptr};  // path[l-1] = node at level l
+  Node* node = root_.get();
+  for (int level = 4; level >= 2 && node; --level) {
+    path[level - 1] = node;
+    const u32 idx = index_at(va, level);
+    ++local.entries_visited;
+    if (level == 2 && (node->pte[idx] & kPresent)) {
+      if (stats) *stats += local;
+      return Errc::invalid_argument;  // inside a large mapping: unmap_large
+    }
+    node = node->children[idx].get();
+  }
+  if (!node) {
+    if (stats) *stats += local;
+    return Errc::not_attached;
+  }
+  path[0] = node;
+  const u32 l1 = index_at(va, 1);
+  ++local.entries_visited;
+  if (!(node->pte[l1] & kPresent)) {
+    if (stats) *stats += local;
+    return Errc::not_attached;
+  }
+  node->pte[l1] = 0;
+  --node->used;
+  --mapped_;
+
+  // Reclaim empty paging structures bottom-up (root is kept).
+  for (int level = 1; level <= 3; ++level) {
+    Node* cur = path[level - 1];
+    Node* parent = path[level];
+    if (cur->used != 0 || parent == nullptr) break;
+    const u32 idx = index_at(va, level + 1);
+    parent->children[idx].reset();
+    --parent->used;
+    --nodes_;
+    ++local.tables_freed;
+  }
+  if (stats) *stats += local;
+  return {};
+}
+
+Result<void> PageTable::unmap_large(Vaddr va, WalkStats* stats) {
+  constexpr u64 kLargeBytes = kLargeSpan * kPageSize;
+  if (va.value() % kLargeBytes != 0) return Errc::invalid_argument;
+  WalkStats local;
+  Node* path[4] = {nullptr, nullptr, nullptr, nullptr};
+  Node* node = root_.get();
+  for (int level = 4; level >= 3 && node; --level) {
+    path[level - 1] = node;
+    ++local.entries_visited;
+    node = node->children[index_at(va, level)].get();
+  }
+  if (!node) {
+    if (stats) *stats += local;
+    return Errc::not_attached;
+  }
+  path[1] = node;
+  const u32 idx = index_at(va, 2);
+  ++local.entries_visited;
+  if (!(node->pte[idx] & kPresent) || !(node->pte[idx] & kLargeBit)) {
+    if (stats) *stats += local;
+    return Errc::not_attached;
+  }
+  node->pte[idx] = 0;
+  --node->used;
+  mapped_ -= kLargeSpan;
+  --large_;
+
+  for (int level = 2; level <= 3; ++level) {
+    Node* cur = path[level - 1];
+    Node* parent = path[level];
+    if (cur->used != 0 || parent == nullptr) break;
+    const u32 pidx = index_at(va, level + 1);
+    parent->children[pidx].reset();
+    --parent->used;
+    --nodes_;
+    ++local.tables_freed;
+  }
+  if (stats) *stats += local;
+  return {};
+}
+
+Result<void> PageTable::unmap_range(Vaddr va, u64 count, WalkStats* stats) {
+  // Honors mixed mappings: a 2 MiB-aligned position covered by a large
+  // mapping releases the whole window in one step.
+  u64 done = 0;
+  while (done < count) {
+    const Vaddr cur = va + done * kPageSize;
+    auto view = lookup(cur, nullptr);
+    if (view && view->large) {
+      if (cur.value() % (kLargeSpan * kPageSize) != 0 || count - done < kLargeSpan) {
+        return Errc::invalid_argument;  // partial large-page unmap
+      }
+      auto r = unmap_large(cur, stats);
+      if (!r.ok()) return r;
+      done += kLargeSpan;
+      continue;
+    }
+    auto r = unmap(cur, stats);
+    if (!r.ok()) return r;
+    ++done;
+  }
+  return {};
+}
+
+std::optional<PteView> PageTable::lookup(Vaddr va, WalkStats* stats) const {
+  WalkStats local;
+  Node* node = root_.get();
+  std::optional<PteView> out;
+  for (int level = 4; level >= 2 && node; --level) {
+    ++local.entries_visited;
+    const u32 idx = index_at(va, level);
+    if (level == 2 && (node->pte[idx] & kPresent)) {
+      // Large mapping: resolve the queried 4 KiB page within it.
+      PteView v = decode(node->pte[idx]);
+      const u64 off = (va.value() >> kPageShift) & (kLargeSpan - 1);
+      out = PteView{v.pfn + off, v.flags, true};
+      if (stats) *stats += local;
+      return out;
+    }
+    node = node->children[idx].get();
+  }
+  if (node) {
+    ++local.entries_visited;
+    const u64 pte = node->pte[index_at(va, 1)];
+    if (pte & kPresent) out = decode(pte);
+  }
+  if (stats) *stats += local;
+  return out;
+}
+
+Result<std::vector<Pfn>> PageTable::translate_range(Vaddr va, u64 count,
+                                                    WalkStats* stats) const {
+  if ((va.value() & kPageMask) != 0) return Errc::invalid_argument;
+  std::vector<Pfn> out;
+  out.reserve(count);
+  u64 i = 0;
+  while (i < count) {
+    auto pte = lookup(va + i * kPageSize, stats);
+    if (!pte) return Errc::invalid_argument;
+    if (pte->large) {
+      // One walk resolves the whole 2 MiB window: enumerate the covered
+      // frames without re-walking per page (this is where large-page
+      // exports collapse the PFN-list generation cost).
+      const u64 off = ((va.value() >> kPageShift) + i) & (kLargeSpan - 1);
+      const u64 run = std::min(count - i, kLargeSpan - off);
+      for (u64 k = 0; k < run; ++k) out.push_back(pte->pfn + k);
+      i += run;
+    } else {
+      out.push_back(pte->pfn);
+      ++i;
+    }
+  }
+  return out;
+}
+
+Result<void> PageTable::map_range_best(Vaddr va, const std::vector<Pfn>& pfns,
+                                       PageFlags flags, WalkStats* stats) {
+  u64 i = 0;
+  while (i < pfns.size()) {
+    const Vaddr cur = va + i * kPageSize;
+    const bool aligned = cur.value() % (kLargeSpan * kPageSize) == 0 &&
+                         pfns[i].value() % kLargeSpan == 0 &&
+                         pfns.size() - i >= kLargeSpan;
+    bool contiguous = aligned;
+    if (aligned) {
+      for (u64 k = 1; k < kLargeSpan && contiguous; ++k) {
+        contiguous = pfns[i + k].value() == pfns[i].value() + k;
+      }
+    }
+    Result<void> r =
+        contiguous ? map_large(cur, pfns[i], flags, stats)
+                   : map(cur, pfns[i], flags, stats);
+    if (!r.ok()) {
+      (void)unmap_range(va, i, stats);  // roll back what we installed
+      return r;
+    }
+    i += contiguous ? kLargeSpan : 1;
+  }
+  return {};
+}
+
+}  // namespace xemem::mm

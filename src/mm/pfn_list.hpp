@@ -1,0 +1,57 @@
+// PFN lists: the payload of XEMEM attachment responses.
+//
+// When an enclave services a remote attachment it walks page tables and
+// produces the list of physical frames backing the exported region (paper
+// sections 4.2-4.3). The list is then shipped through a cross-enclave
+// channel — its wire size determines the channel transfer cost — and the
+// attaching enclave maps it page by page.
+//
+// Extent compression matters for the Palacios memory map: a contiguous
+// Kitten export compresses to a single extent (one red-black-tree entry),
+// while a scattered Linux export stays one entry per page, which is
+// exactly the overhead the paper quantifies in section 5.4.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "hw/phys_mem.hpp"
+
+namespace xemem::mm {
+
+/// A flat page-frame list with helpers for wire-size accounting and
+/// extent compression.
+struct PfnList {
+  std::vector<Pfn> pfns;
+
+  u64 page_count() const { return pfns.size(); }
+  u64 byte_span() const { return pfns.size() * kPageSize; }
+
+  /// Bytes this list occupies on a channel (8 bytes per entry, matching
+  /// the u64 frame numbers the real implementation ships).
+  u64 wire_bytes() const { return pfns.size() * sizeof(u64); }
+
+  /// Collapse runs of consecutive frames into extents.
+  std::vector<hw::FrameExtent> extents() const {
+    std::vector<hw::FrameExtent> out;
+    for (Pfn p : pfns) {
+      if (!out.empty() && out.back().start.value() + out.back().count == p.value()) {
+        ++out.back().count;
+      } else {
+        out.push_back(hw::FrameExtent{p, 1});
+      }
+    }
+    return out;
+  }
+
+  /// Expand extents back to a flat list (inverse of extents()).
+  static PfnList from_extents(const std::vector<hw::FrameExtent>& exts) {
+    PfnList l;
+    for (auto e : exts) {
+      for (u64 i = 0; i < e.count; ++i) l.pfns.push_back(e.start + i);
+    }
+    return l;
+  }
+};
+
+}  // namespace xemem::mm

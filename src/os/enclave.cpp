@@ -1,0 +1,44 @@
+#include "os/enclave.hpp"
+
+#include <algorithm>
+
+namespace xemem::os {
+
+Result<void> Enclave::proc_write(Process& p, Vaddr va, const void* src, u64 len) {
+  const u8* s = static_cast<const u8*>(src);
+  while (len > 0) {
+    auto pte = p.pt().lookup(Vaddr{page_align_down(va.value())});
+    if (!pte) return Errc::invalid_argument;
+    if (!mm::has_flag(pte->flags, mm::PageFlags::writable)) {
+      return Errc::permission_denied;  // write fault on a read-only mapping
+    }
+    auto host = frame_to_host(pte->pfn);
+    if (!host.ok()) return host.error();
+    const u64 off = va.value() & kPageMask;
+    const u64 n = std::min(len, kPageSize - off);
+    machine_.pmem().write(host.value().paddr() + off, s, n);
+    s += n;
+    va += n;
+    len -= n;
+  }
+  return {};
+}
+
+Result<void> Enclave::proc_read(Process& p, Vaddr va, void* dst, u64 len) {
+  u8* d = static_cast<u8*>(dst);
+  while (len > 0) {
+    auto pte = p.pt().lookup(Vaddr{page_align_down(va.value())});
+    if (!pte) return Errc::invalid_argument;
+    auto host = frame_to_host(pte->pfn);
+    if (!host.ok()) return host.error();
+    const u64 off = va.value() & kPageMask;
+    const u64 n = std::min(len, kPageSize - off);
+    machine_.pmem().read(host.value().paddr() + off, d, n);
+    d += n;
+    va += n;
+    len -= n;
+  }
+  return {};
+}
+
+}  // namespace xemem::os

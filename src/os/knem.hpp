@@ -1,0 +1,115 @@
+// KNEM-style kernel-assisted single-copy transfers (baseline).
+//
+// KNEM [Goglin & Moreaud, JPDC 2013] is the single-OS alternative the
+// paper's related work contrasts with (section 2): instead of mapping the
+// source region into the destination address space (XEMEM's zero-copy
+// model), a process *declares* a region and receives a cookie; the kernel
+// then copies data directly between the two address spaces on request —
+// one copy, no mapping, but paid on every transfer.
+//
+// This implementation operates within a single enclave (KNEM is
+// "designed to operate in a single OS/R environment and would require
+// significant modifications to support a multi-enclave configuration"),
+// walks both processes' real page tables, moves real bytes through the
+// machine's data plane, and charges the per-page walk plus the copy
+// through the socket's shared bandwidth.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/costs.hpp"
+#include "os/enclave.hpp"
+
+namespace xemem::os {
+
+class KnemService {
+ public:
+  explicit KnemService(Enclave& os) : os_(os) {}
+
+  KnemService(const KnemService&) = delete;
+  KnemService& operator=(const KnemService&) = delete;
+
+  /// Declare [va, va+bytes) of @p owner for kernel-assisted access.
+  /// Returns a cookie the peer passes to copy_from/copy_to.
+  Result<u64> declare(Process& owner, Vaddr va, u64 bytes) {
+    if ((va.value() & kPageMask) != 0 || bytes == 0) return Errc::invalid_argument;
+    // Validate the region is mapped (cheap check of both ends).
+    if (!owner.pt().lookup(va) ||
+        !owner.pt().lookup(Vaddr{page_align_down(va.value() + bytes - 1)})) {
+      return Errc::invalid_argument;
+    }
+    const u64 cookie = next_cookie_++;
+    regions_.emplace(cookie, Region{&owner, va, bytes});
+    return cookie;
+  }
+
+  Result<void> undeclare(u64 cookie) {
+    return regions_.erase(cookie) == 1 ? Result<void>{}
+                                       : Result<void>{Errc::not_attached};
+  }
+
+  /// Single-copy receive: the kernel copies [offset, offset+len) of the
+  /// declared region into @p dst's address space at @p dst_va. Charged:
+  /// a page-table walk over both ranges plus one memcpy through the
+  /// socket's shared memory bandwidth (read + write traffic).
+  sim::Task<Result<void>> copy_from(u64 cookie, u64 offset, u64 len, Process& dst,
+                                    Vaddr dst_va) {
+    co_return co_await transfer(cookie, offset, len, dst, dst_va, /*to_region=*/false);
+  }
+
+  /// Single-copy send into the declared region.
+  sim::Task<Result<void>> copy_to(u64 cookie, u64 offset, u64 len, Process& src,
+                                  Vaddr src_va) {
+    co_return co_await transfer(cookie, offset, len, src, src_va, /*to_region=*/true);
+  }
+
+  u64 declared_regions() const { return regions_.size(); }
+
+ private:
+  struct Region {
+    Process* owner;
+    Vaddr va;
+    u64 bytes;
+  };
+
+  sim::Task<Result<void>> transfer(u64 cookie, u64 offset, u64 len, Process& peer,
+                                   Vaddr peer_va, bool to_region) {
+    auto it = regions_.find(cookie);
+    if (it == regions_.end()) co_return Errc::not_attached;
+    const Region& r = it->second;
+    if (offset + len > r.bytes) co_return Errc::invalid_argument;
+
+    // Kernel-side charge: walk both page-table ranges once per page...
+    const u64 pages = pages_for(len) + 1;
+    co_await peer.core()->compute(pages * 2 * 4 * costs::kPtEntryVisit);
+    // ...and one copy (read source + write destination traffic).
+    co_await os_.membw().transfer(2 * len);
+
+    // Real data movement through the data plane (page-by-page via the
+    // processes' own mappings).
+    std::vector<u8> buf(std::min<u64>(len, 1 << 20));
+    u64 moved = 0;
+    while (moved < len) {
+      const u64 n = std::min<u64>(buf.size(), len - moved);
+      if (to_region) {
+        auto rd = os_.proc_read(peer, peer_va + moved, buf.data(), n);
+        if (!rd.ok()) co_return rd;
+        auto wr = os_.proc_write(*r.owner, r.va + offset + moved, buf.data(), n);
+        if (!wr.ok()) co_return wr;
+      } else {
+        auto rd = os_.proc_read(*r.owner, r.va + offset + moved, buf.data(), n);
+        if (!rd.ok()) co_return rd;
+        auto wr = os_.proc_write(peer, peer_va + moved, buf.data(), n);
+        if (!wr.ok()) co_return wr;
+      }
+      moved += n;
+    }
+    co_return Result<void>{};
+  }
+
+  Enclave& os_;
+  std::unordered_map<u64, Region> regions_;
+  u64 next_cookie_{1};
+};
+
+}  // namespace xemem::os

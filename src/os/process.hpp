@@ -1,0 +1,75 @@
+// A process inside one enclave OS.
+//
+// Owns a real 4-level page table and a simple virtual-address-space
+// cursor. Frame ownership is tracked so enclave teardown (and the leak
+// property tests) can verify that every attach/detach/remove cycle
+// restores the machine's frame accounting.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "hw/core.hpp"
+#include "hw/phys_mem.hpp"
+#include "mm/page_table.hpp"
+
+namespace xemem::os {
+
+class Enclave;
+
+class Process {
+ public:
+  Process(u32 pid, Enclave* os, hw::Core* core) : pid_(pid), os_(os), core_(core) {}
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  u32 pid() const { return pid_; }
+  Enclave& os() { return *os_; }
+  hw::Core* core() { return core_; }
+  mm::PageTable& pt() { return pt_; }
+  const mm::PageTable& pt() const { return pt_; }
+
+  /// Reserve @p bytes of virtual address space (page-granular bump
+  /// allocator; regions are never recycled, as in short-lived HPC
+  /// processes).
+  Vaddr alloc_va(u64 bytes) {
+    const Vaddr va{va_cursor_};
+    va_cursor_ += page_align_up(bytes);
+    return va;
+  }
+
+  /// Reserve VA space starting at a multiple of @p align (e.g. 2 MiB so
+  /// the region is eligible for large-page mappings).
+  Vaddr alloc_va_aligned(u64 bytes, u64 align) {
+    va_cursor_ = (va_cursor_ + align - 1) / align * align;
+    return alloc_va(bytes);
+  }
+
+  /// Record frames this process owns (freed by Enclave::destroy_process).
+  void adopt_frames(const std::vector<hw::FrameExtent>& exts) {
+    owned_.insert(owned_.end(), exts.begin(), exts.end());
+  }
+  const std::vector<hw::FrameExtent>& owned_frames() const { return owned_; }
+
+  /// Base virtual address of the process's statically-created memory
+  /// (heap/data); set by the personality at creation.
+  Vaddr image_base() const { return image_base_; }
+  u64 image_pages() const { return image_pages_; }
+  void set_image(Vaddr base, u64 pages) {
+    image_base_ = base;
+    image_pages_ = pages;
+  }
+
+ private:
+  u32 pid_;
+  Enclave* os_;
+  hw::Core* core_;
+  mm::PageTable pt_;
+  u64 va_cursor_{0x10000000};
+  std::vector<hw::FrameExtent> owned_;
+  Vaddr image_base_{};
+  u64 image_pages_{0};
+};
+
+}  // namespace xemem::os

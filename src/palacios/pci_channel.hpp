@@ -1,0 +1,62 @@
+// The Palacios virtual PCI device channel (paper sections 4.4-4.5).
+//
+// Host<->guest messages stage their payload through the device's memory
+// window and notify the other side with a world switch: the host raises a
+// virtual IRQ into the guest; the guest issues a hypercall into the host.
+// Messages without PFN-list payloads ("simple command header") cost only
+// the header copy plus the notification; attach responses additionally pay
+// the window copy on both sides.
+//
+// All handler-side work executes in interrupt context on the destination
+// side's core (hw::Core::run_irq), so VM channel traffic perturbs guest
+// computation exactly the way the in-situ experiments require.
+#pragma once
+
+#include "common/costs.hpp"
+#include "hw/core.hpp"
+#include "xemem/channel.hpp"
+
+namespace xemem::palacios {
+
+class PciEndpoint final : public ChannelEndpoint {
+ public:
+  /// @param self_core  core whose time pays this side's staging copy
+  /// @param peer_core  core that takes the notification and copy-out
+  PciEndpoint(hw::Core* self_core, hw::Core* peer_core)
+      : self_core_(self_core), peer_core_(peer_core) {}
+
+  void set_peer(PciEndpoint* peer) { peer_ = peer; }
+
+  sim::Task<void> send(Message msg) override {
+    XEMEM_ASSERT(peer_ != nullptr);
+    account(msg);
+    const u64 bytes = msg.wire_bytes();
+    const u64 copy_ns =
+        static_cast<u64>(static_cast<double>(bytes) / costs::kPciWindowBytesPerNs);
+    // Stage into the device window (sender side, kernel context).
+    co_await self_core_->run_irq(copy_ns);
+    // World switch: IRQ injection or hypercall, paid by the sender...
+    co_await sim::delay(costs::kVmEntryExit);
+    // ...then the destination handler copies the message out of the window.
+    co_await peer_core_->run_irq(costs::kVmEntryExit / 2 + copy_ns);
+    peer_->inbox().send(std::move(msg));
+  }
+
+ private:
+  hw::Core* self_core_;
+  hw::Core* peer_core_;
+  PciEndpoint* peer_{nullptr};
+};
+
+/// Build the host/guest channel for one VM. `a` is the host-side endpoint
+/// (sends raise IRQs into @p guest_core); `b` is the guest-side endpoint
+/// (sends hypercall into @p host_core).
+inline ChannelPair make_pci_channel(hw::Core* host_core, hw::Core* guest_core) {
+  auto host_ep = std::make_unique<PciEndpoint>(host_core, guest_core);
+  auto guest_ep = std::make_unique<PciEndpoint>(guest_core, host_core);
+  host_ep->set_peer(guest_ep.get());
+  guest_ep->set_peer(host_ep.get());
+  return ChannelPair{std::move(host_ep), std::move(guest_ep)};
+}
+
+}  // namespace xemem::palacios

@@ -1,0 +1,70 @@
+// The Pisces IPI-based cross-enclave channel (paper section 4.5).
+//
+// During co-kernel boot, Pisces sets up a small shared-memory region and a
+// pair of IPI vectors between the new Kitten enclave and the Linux
+// management enclave. A message transfer is: sender copies a chunk into
+// the window, IPIs the destination's channel core, whose handler copies
+// the chunk out. Large payloads (PFN lists) move in kChannelChunk pieces.
+//
+// Faithful detail that drives Figure 6: in the stock co-kernel
+// architecture *all* IPI traffic to the Linux management enclave is
+// handled on core 0, so every co-kernel's channel names the same Linux
+// core as its handler core — concurrent attachments from many enclaves
+// serialize their message handling there. bench/ablation_ipi_routing
+// relaxes this restriction (the paper's stated future work).
+#pragma once
+
+#include "common/costs.hpp"
+#include "hw/core.hpp"
+#include "xemem/channel.hpp"
+
+namespace xemem::pisces {
+
+class IpiEndpoint final : public ChannelEndpoint {
+ public:
+  /// @param self_core  this side's channel core (pays staging copies)
+  /// @param peer_core  destination channel core (pays IPI handler + copy-out)
+  IpiEndpoint(hw::Core* self_core, hw::Core* peer_core)
+      : self_core_(self_core), peer_core_(peer_core) {}
+
+  void set_peer(IpiEndpoint* peer) { peer_ = peer; }
+
+  hw::Core* peer_core() const { return peer_core_; }
+
+  sim::Task<void> send(Message msg) override {
+    XEMEM_ASSERT(peer_ != nullptr);
+    account(msg);
+    u64 remaining = msg.wire_bytes();
+    while (remaining > 0) {
+      const u64 chunk = std::min(remaining, costs::kChannelChunk);
+      const u64 copy_ns =
+          static_cast<u64>(static_cast<double>(chunk) / costs::kChannelCopyBytesPerNs);
+      // Sender-side kernel thread copies the chunk into the window.
+      co_await self_core_->run_irq(copy_ns);
+      // IPI to the destination channel core; the handler copies it out
+      // into a locally allocated buffer.
+      co_await sim::delay(costs::kIpiLatency);
+      co_await peer_core_->run_irq(costs::kIpiHandlerCost + copy_ns);
+      remaining -= chunk;
+    }
+    peer_->inbox().send(std::move(msg));
+  }
+
+ private:
+  hw::Core* self_core_;
+  hw::Core* peer_core_;
+  IpiEndpoint* peer_{nullptr};
+};
+
+/// Build a Pisces channel. `a` belongs to the management (Linux) enclave —
+/// its sends execute handler work on @p cokernel_core; `b` belongs to the
+/// co-kernel — its sends land on @p mgmt_core (core 0 in the stock design).
+inline ChannelPair make_ipi_channel(hw::Core* mgmt_core, hw::Core* cokernel_core) {
+  auto mgmt_ep = std::make_unique<IpiEndpoint>(mgmt_core, cokernel_core);
+  auto ck_ep = std::make_unique<IpiEndpoint>(cokernel_core, mgmt_core);
+  mgmt_ep->set_peer(ck_ep.get());
+  ck_ep->set_peer(mgmt_ep.get());
+  return ChannelPair{std::move(mgmt_ep), std::move(ck_ep)};
+}
+
+}  // namespace xemem::pisces

@@ -1,0 +1,108 @@
+// The Pisces co-kernel manager (paper section 4, "Pisces Lightweight
+// Co-Kernel Architecture").
+//
+// Pisces decomposes a node's hardware into partitions fully managed by
+// independent system-software stacks: the Linux management enclave gives
+// up cores and a contiguous block of a NUMA zone's memory, and a Kitten
+// co-kernel boots on them. During boot, Pisces establishes the IPI channel
+// between the new enclave and the management enclave (ipi_channel.hpp) —
+// with the management side's handling pinned to its core 0 in the stock
+// design.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/kitten.hpp"
+#include "os/linux.hpp"
+#include "pisces/ipi_channel.hpp"
+
+namespace xemem::pisces {
+
+class PiscesManager {
+ public:
+  /// @param mgmt the Linux management enclave co-kernels attach to.
+  PiscesManager(hw::Machine& machine, os::LinuxEnclave& mgmt)
+      : machine_(machine), mgmt_(mgmt) {}
+
+  PiscesManager(const PiscesManager&) = delete;
+  PiscesManager& operator=(const PiscesManager&) = delete;
+
+  struct CokernelSpec {
+    std::string name;
+    u32 socket{0};
+    std::vector<u32> core_ids;     ///< cores surrendered to the co-kernel
+    u64 memory_bytes{0};           ///< contiguous block carved from the zone
+    u32 mgmt_channel_core{0};      ///< management-side IPI handler core
+                                   ///< (core 0 in the stock design)
+  };
+
+  struct Booted {
+    os::KittenEnclave* enclave;
+    ChannelEndpoint* mgmt_endpoint;      ///< register with the mgmt kernel
+    ChannelEndpoint* cokernel_endpoint;  ///< register with the co-kernel
+  };
+
+  /// Carve resources and boot a Kitten co-kernel.
+  Result<Booted> boot_cokernel(const CokernelSpec& spec) {
+    auto& socket_zone = machine_.zone(spec.socket);
+    auto carve = socket_zone.alloc(pages_for(spec.memory_bytes),
+                                   hw::AllocPolicy::contiguous);
+    if (!carve.ok()) return carve.error();
+    XEMEM_ASSERT(carve.value().size() == 1);
+
+    auto slot = std::make_unique<Slot>();
+    slot->socket = spec.socket;
+    slot->carve = carve.value()[0];
+    slot->zone = std::make_unique<hw::FrameZone>(slot->carve.start, slot->carve.count);
+
+    std::vector<hw::Core*> cores;
+    for (u32 cid : spec.core_ids) cores.push_back(&machine_.core(cid));
+    XEMEM_ASSERT_MSG(!cores.empty(), "co-kernel needs at least one core");
+
+    slot->enclave = std::make_unique<os::KittenEnclave>(
+        spec.name, machine_, *slot->zone, machine_.socket_bw(spec.socket), cores,
+        /*service_core=*/cores[0]);
+
+    slot->channel = make_ipi_channel(&machine_.core(spec.mgmt_channel_core),
+                                     /*cokernel_core=*/cores[0]);
+
+    Booted out{slot->enclave.get(), slot->channel.a.get(), slot->channel.b.get()};
+    cokernels_.push_back(std::move(slot));
+    return out;
+  }
+
+  /// Tear down a co-kernel, returning its memory block to the socket zone.
+  /// All of its processes must have been destroyed first.
+  void shutdown_cokernel(os::KittenEnclave* enclave) {
+    for (auto it = cokernels_.begin(); it != cokernels_.end(); ++it) {
+      if ((*it)->enclave.get() == enclave) {
+        XEMEM_ASSERT_MSG((*it)->zone->free_frames() == (*it)->zone->total_frames(),
+                         "co-kernel shut down with live allocations");
+        machine_.zone((*it)->socket).free((*it)->carve);
+        cokernels_.erase(it);
+        return;
+      }
+    }
+    XEMEM_PANIC("shutdown of unknown co-kernel");
+  }
+
+  os::LinuxEnclave& mgmt() { return mgmt_; }
+  u64 cokernel_count() const { return cokernels_.size(); }
+
+ private:
+  struct Slot {
+    std::unique_ptr<os::KittenEnclave> enclave;
+    std::unique_ptr<hw::FrameZone> zone;
+    hw::FrameExtent carve{};
+    u32 socket{0};
+    ChannelPair channel;
+  };
+
+  hw::Machine& machine_;
+  os::LinuxEnclave& mgmt_;
+  std::vector<std::unique_ptr<Slot>> cokernels_;
+};
+
+}  // namespace xemem::pisces

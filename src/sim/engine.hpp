@@ -1,0 +1,217 @@
+// The discrete-event simulation engine.
+//
+// A single Engine instance drives one experiment: it owns the virtual
+// clock, the pending-event queue, and all detached actor tasks. Events at
+// equal times fire in FIFO scheduling order (a monotonically increasing
+// sequence number breaks ties), which makes runs bit-for-bit reproducible.
+//
+// Coroutines obtain "their" engine through Engine::current(), which is set
+// for the duration of every resumption — simulation code can simply write
+//   co_await sim::delay(5_us);
+// without threading an engine pointer through every call.
+#pragma once
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace xemem::sim {
+
+class Engine {
+ public:
+  explicit Engine(u64 seed = 1) : rng_(seed) {}
+  ~Engine() { drain_detached(); }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  TimePoint now() const { return now_; }
+
+  /// Root RNG for this run; models fork() child streams from it.
+  Rng& rng() { return rng_; }
+
+  /// Engine driving the currently-executing coroutine (set during step()).
+  static Engine* current() {
+    XEMEM_ASSERT_MSG(current_ != nullptr, "no simulation engine is running");
+    return current_;
+  }
+
+  /// Schedule @p h to resume at absolute time @p t (>= now).
+  void schedule_at(TimePoint t, std::coroutine_handle<> h) {
+    XEMEM_ASSERT(t >= now_);
+    queue_.push(Event{t, seq_++, h, {}});
+  }
+
+  /// Schedule @p h to resume after @p d.
+  void schedule_after(Duration d, std::coroutine_handle<> h) {
+    schedule_at(now_ + d, h);
+  }
+
+  /// Schedule a plain callback (used by non-coroutine models, e.g. the
+  /// processor-sharing resource's completion timers).
+  void call_at(TimePoint t, std::function<void()> fn) {
+    XEMEM_ASSERT(t >= now_);
+    queue_.push(Event{t, seq_++, nullptr, std::move(fn)});
+  }
+
+  /// Launch a detached background actor. The engine keeps the coroutine
+  /// frame alive until it completes; an exception escaping a detached task
+  /// aborts the simulation (actors are expected to handle their own errors).
+  void spawn(Task<void> task) {
+    auto node = std::make_unique<Detached>();
+    node->handle = task.release();
+    node->handle.promise().done_flag = &node->done;
+    detached_.push_back(std::move(node));
+    schedule_at(now_, detached_.back()->handle);
+  }
+
+  /// Run @p main to completion (processing all events it transitively
+  /// depends on) and return its result. Detached actors keep running only
+  /// while events remain reachable before main finishes.
+  template <typename T>
+  T run(Task<T> main) {
+    bool done = false;
+    main.set_done_flag(&done);
+    schedule_at(now_, main.handle());
+    while (!done) {
+      XEMEM_ASSERT_MSG(step(), "simulation deadlocked: main task never finished");
+    }
+    reap();
+    return main.take_result();
+  }
+
+  /// Process events until the queue is empty.
+  void run_until_idle() {
+    while (step()) {
+    }
+    reap();
+  }
+
+  /// Process events until the clock would pass @p t, then set now = t.
+  void run_until(TimePoint t) {
+    while (!queue_.empty() && queue_.top().t <= t) {
+      XEMEM_ASSERT(step());
+    }
+    XEMEM_ASSERT(t >= now_);
+    now_ = t;
+    reap();
+  }
+
+  /// Execute one event. Returns false if the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    XEMEM_ASSERT(ev.t >= now_);
+    now_ = ev.t;
+    Engine* prev = current_;
+    current_ = this;
+    if (ev.h) {
+      ev.h.resume();
+    } else {
+      ev.fn();
+    }
+    current_ = prev;
+    if (++steps_since_reap_ >= 4096) reap();
+    return true;
+  }
+
+  /// Number of events processed so far (diagnostics).
+  u64 events_processed() const { return seq_; }
+
+ private:
+  struct Event {
+    TimePoint t;
+    u64 seq;
+    std::coroutine_handle<> h;
+    std::function<void()> fn;
+
+    // Min-heap on (time, sequence): earliest first, FIFO within a time.
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  struct Detached {
+    std::coroutine_handle<Task<void>::promise_type> handle{};
+    bool done{false};
+
+    ~Detached() {
+      if (handle) {
+        if (done && handle.promise().exception) {
+          // Surface actor failures instead of silently dropping them.
+          try {
+            std::rethrow_exception(handle.promise().exception);
+          } catch (const std::exception& e) {
+            XEMEM_PANIC(e.what());
+          } catch (...) {
+            XEMEM_PANIC("detached simulation task failed");
+          }
+        }
+        handle.destroy();
+      }
+    }
+  };
+
+  void reap() {
+    steps_since_reap_ = 0;
+    std::erase_if(detached_, [](const std::unique_ptr<Detached>& d) { return d->done; });
+  }
+
+  void drain_detached() {
+    // Unfinished actors at teardown are destroyed while suspended; their
+    // frames unwind normally because Task locals are regular RAII objects.
+    detached_.clear();
+  }
+
+  TimePoint now_{kTimeZero};
+  u64 seq_{0};
+  u64 steps_since_reap_{0};
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<Detached>> detached_;
+  Rng rng_;
+
+  static inline Engine* current_ = nullptr;
+};
+
+/// Awaitable: suspend the current coroutine for @p d simulated nanoseconds.
+inline auto delay(Duration d) {
+  struct Awaiter {
+    Duration d;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      Engine::current()->schedule_after(d, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  return Awaiter{d};
+}
+
+/// Awaitable: suspend until absolute simulated time @p t (no-op if past).
+inline auto delay_until(TimePoint t) {
+  struct Awaiter {
+    TimePoint t;
+    bool await_ready() const noexcept { return Engine::current()->now() >= t; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      Engine::current()->schedule_at(t, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  return Awaiter{t};
+}
+
+/// Awaitable: yield to other events scheduled at the current time.
+inline auto yield_now() { return delay(0); }
+
+/// Convenience: current simulated time from coroutine context.
+inline TimePoint now() { return Engine::current()->now(); }
+
+}  // namespace xemem::sim

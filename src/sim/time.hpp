@@ -1,0 +1,20 @@
+// Virtual time for the discrete-event simulation.
+//
+// All performance numbers the benchmark harnesses report are measured in
+// this virtual clock, which advances only when simulation events fire.
+// Durations and time points are nanosecond counts; see common/units.hpp
+// for the `_us` / `_ms` literals used by the cost model.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace xemem::sim {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using TimePoint = u64;
+/// Simulated duration in nanoseconds.
+using Duration = u64;
+
+inline constexpr TimePoint kTimeZero = 0;
+
+}  // namespace xemem::sim

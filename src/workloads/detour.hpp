@@ -1,0 +1,61 @@
+// Selfish Detour noise benchmark (Beckman et al., ANL).
+//
+// The benchmark runs a tight timing loop and records every "detour" — an
+// interval where the loop's step took noticeably longer than the expected
+// quantum, i.e. the CPU was executing instructions that are not part of
+// the user's application (paper section 5.5 / Figure 7).
+//
+// In the simulator the loop repeatedly executes a small quantum of
+// application compute on its core; any interrupt-context work (noise
+// components, XEMEM attachment servicing) stretches the quantum, and the
+// stretch beyond the quantum is recorded as a detour with its timestamp.
+#pragma once
+
+#include <vector>
+
+#include "hw/core.hpp"
+#include "sim/engine.hpp"
+
+namespace xemem::workloads {
+
+struct Detour {
+  sim::TimePoint at;       ///< when the detour completed
+  sim::Duration duration;  ///< stolen time (beyond the sampling quantum)
+};
+
+struct DetourTrace {
+  std::vector<Detour> detours;
+  u64 samples{0};
+  sim::Duration quantum{0};
+
+  /// Fraction of the run spent in detours.
+  double noise_fraction(sim::Duration run_length) const {
+    u64 stolen = 0;
+    for (const auto& d : detours) stolen += d.duration;
+    return static_cast<double>(stolen) / static_cast<double>(run_length);
+  }
+};
+
+/// Run the detour loop on @p core for @p run_for simulated time.
+/// @p quantum is the sampling granularity (the paper's rdtsc loop step,
+/// coarsened to keep event counts tractable); any stretch greater than
+/// @p min_detour is recorded.
+inline sim::Task<DetourTrace> selfish_detour(hw::Core& core, sim::Duration run_for,
+                                             sim::Duration quantum = 2000 /*2us*/,
+                                             sim::Duration min_detour = 500) {
+  DetourTrace trace;
+  trace.quantum = quantum;
+  const sim::TimePoint end = sim::now() + run_for;
+  while (sim::now() < end) {
+    const sim::TimePoint t0 = sim::now();
+    co_await core.compute(quantum);
+    ++trace.samples;
+    const sim::Duration stretch = (sim::now() - t0) - quantum;
+    if (stretch >= min_detour) {
+      trace.detours.push_back(Detour{sim::now(), stretch});
+    }
+  }
+  co_return trace;
+}
+
+}  // namespace xemem::workloads

@@ -1,0 +1,104 @@
+#include "workloads/hpccg.hpp"
+
+namespace xemem::workloads {
+
+CgSolver::CgSolver(Grid g) : grid_(g), n_(u64{g.nx} * g.ny * g.nz) {
+  XEMEM_ASSERT(n_ > 0);
+  row_ptr_.reserve(n_ + 1);
+  row_ptr_.push_back(0);
+  auto index = [&](u32 x, u32 y, u32 z) -> u32 {
+    return x + grid_.nx * (y + grid_.ny * z);
+  };
+  for (u32 z = 0; z < grid_.nz; ++z) {
+    for (u32 y = 0; y < grid_.ny; ++y) {
+      for (u32 x = 0; x < grid_.nx; ++x) {
+        const u32 row = index(x, y, z);
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const i64 nx = static_cast<i64>(x) + dx;
+              const i64 ny = static_cast<i64>(y) + dy;
+              const i64 nz = static_cast<i64>(z) + dz;
+              if (nx < 0 || ny < 0 || nz < 0 || nx >= grid_.nx || ny >= grid_.ny ||
+                  nz >= grid_.nz) {
+                continue;
+              }
+              const u32 col = index(static_cast<u32>(nx), static_cast<u32>(ny),
+                                    static_cast<u32>(nz));
+              cols_.push_back(col);
+              vals_.push_back(col == row ? 27.0 : -1.0);
+            }
+          }
+        }
+        row_ptr_.push_back(cols_.size());
+      }
+    }
+  }
+  b_.resize(n_);
+  // b = A * ones: exact solution is the all-ones vector.
+  for (u64 i = 0; i < n_; ++i) {
+    double s = 0;
+    for (u64 k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) s += vals_[k];
+    b_[i] = s;
+  }
+  reset();
+}
+
+void CgSolver::reset() {
+  x_.assign(n_, 0.0);
+  r_ = b_;  // r = b - A*0
+  p_ = r_;
+  ap_.assign(n_, 0.0);
+  rr_ = dot(r_, r_);
+  iters_ = 0;
+}
+
+void CgSolver::matvec(const std::vector<double>& x, std::vector<double>& y) const {
+  for (u64 i = 0; i < n_; ++i) {
+    double s = 0;
+    for (u64 k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s += vals_[k] * x[cols_[k]];
+    }
+    y[i] = s;
+  }
+}
+
+double CgSolver::dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double CgSolver::iterate() {
+  // The in-situ benchmark runs a fixed iteration count (600) regardless of
+  // convergence, but on the scaled-down grid CG reaches machine precision
+  // long before that; past convergence the recurrences lose positive
+  // definiteness to rounding. Hold the converged state instead (the charged
+  // per-iteration work is modeled separately, so timing is unaffected).
+  if (rr_ < 1e-24) {
+    ++iters_;
+    return std::sqrt(rr_);
+  }
+  matvec(p_, ap_);
+  const double p_ap = dot(p_, ap_);
+  XEMEM_ASSERT_MSG(p_ap > 0, "matrix lost positive definiteness");
+  const double alpha = rr_ / p_ap;
+  for (u64 i = 0; i < n_; ++i) {
+    x_[i] += alpha * p_[i];
+    r_[i] -= alpha * ap_[i];
+  }
+  const double rr_new = dot(r_, r_);
+  const double beta = rr_new / rr_;
+  for (u64 i = 0; i < n_; ++i) p_[i] = r_[i] + beta * p_[i];
+  rr_ = rr_new;
+  ++iters_;
+  return std::sqrt(rr_);
+}
+
+double CgSolver::solution_error() const {
+  double e = 0;
+  for (double v : x_) e = std::max(e, std::fabs(v - 1.0));
+  return e;
+}
+
+}  // namespace xemem::workloads

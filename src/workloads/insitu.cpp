@@ -1,0 +1,274 @@
+#include "workloads/insitu.hpp"
+
+#include <string>
+
+#include "common/log.hpp"
+
+namespace xemem::workloads {
+namespace {
+
+// Control-page layout (shared-memory signal variables, section 6.1).
+constexpr u64 kGoOff = 0;
+constexpr u64 kDoneOff = 8;
+
+std::string data_name(u64 tag, u32 k) {
+  return "insitu-" + std::to_string(tag) + "-data-" + std::to_string(k);
+}
+std::string ctl_name(u64 tag) { return "insitu-" + std::to_string(tag) + "-ctl"; }
+
+/// Poll a shared u64 until it reaches @p expect (the paper's ad hoc
+/// notification mechanism: polling on variables in shared memory).
+sim::Task<void> poll_at_least(os::Enclave& os, os::Process& p, Vaddr va, u64 expect,
+                              sim::Duration interval) {
+  for (;;) {
+    u64 v = 0;
+    auto r = os.proc_read(p, va, &v, sizeof(v));
+    XEMEM_ASSERT_MSG(r.ok(), "signal variable unmapped");
+    if (v >= expect) co_return;
+    co_await sim::delay(interval);
+  }
+}
+
+/// A memory-bandwidth-bound phase anchored to a core: bytes stream through
+/// the socket's shared-bandwidth resource in chunks, with a small CPU
+/// driver step per chunk. The per-chunk compute step is what couples the
+/// phase to the core's interrupt-context noise: a daemon burst stalls the
+/// loop until the core is free again (within one chunk's granularity).
+sim::Task<void> streamed_work(hw::Core* core, sim::SharedBandwidth& bw, u64 bytes) {
+  constexpr u64 kChunk = 16ull << 20;
+  constexpr u64 kCpuPerChunk = 5'000;  // 5 us driver loop per 16 MiB
+  while (bytes > 0) {
+    const u64 n = std::min(bytes, kChunk);
+    co_await bw.transfer(n);
+    co_await core->compute(kCpuPerChunk);
+    bytes -= n;
+  }
+}
+
+/// Pick distinct app cores when simulation and analytics share an enclave,
+/// avoiding the enclave's service core where possible.
+hw::Core* app_core(os::Enclave& os, u32 preference) {
+  const auto& cores = os.cores();
+  std::vector<hw::Core*> usable;
+  for (hw::Core* c : cores) {
+    if (c != os.service_core()) usable.push_back(c);
+  }
+  if (usable.empty()) return cores[0];
+  return usable[preference % usable.size()];
+}
+
+struct Ctx {
+  InsituConfig cfg;
+  XememKernel* sim_k;
+  XememKernel* an_k;
+  os::Enclave* sim_os;
+  os::Enclave* an_os;
+  os::Process* sim_proc;
+  os::Process* an_proc;
+  hw::Core* sim_core;
+  hw::Core* an_core;
+  u32 total_signals;
+  Vaddr ctl_va;   // control page in the simulation's address space
+  Vaddr data_va;  // data region in the simulation's address space
+  Segid ctl_segid;
+  std::vector<Segid> data_segids;
+  InsituResult result;
+  sim::Event sim_finished;
+  sim::Event analytics_finished;
+};
+
+sim::Task<void> simulation_actor(Ctx* c) {
+  const InsituConfig& cfg = c->cfg;
+  CgSolver cg(CgSolver::Grid{cfg.grid, cfg.grid, cfg.grid});
+  const sim::TimePoint start = sim::now();
+  u32 signals = 0;
+
+  for (u32 it = 1; it <= cfg.iterations; ++it) {
+    // Real conjugate-gradient arithmetic (scaled grid)...
+    cg.iterate();
+    // ...charged at the modeled problem scale. A virtualized simulation
+    // pays its nested-paging overhead on the memory-bound share.
+    co_await c->sim_core->compute(cfg.sim_compute_ns);
+    co_await streamed_work(
+        c->sim_core, c->sim_os->membw(),
+        static_cast<u64>(static_cast<double>(cfg.sim_mem_bytes) *
+                         c->sim_os->mem_overhead_factor()));
+
+    // Collectives between iterations (two dot-product allreduces).
+    if (cfg.comm != nullptr) {
+      co_await cfg.comm->allreduce(cfg.allreduce_bytes);
+      co_await cfg.comm->allreduce(cfg.allreduce_bytes);
+    }
+
+    if (it % cfg.signal_every == 0 && signals < c->total_signals) {
+      ++signals;
+      if (cfg.recurring) {
+        // Export a fresh region for this communication point.
+        auto sid = co_await c->sim_k->xpmem_make(*c->sim_proc, c->data_va,
+                                                 cfg.region_bytes,
+                                                 data_name(cfg.run_tag, signals));
+        XEMEM_ASSERT_MSG(sid.ok(), "recurring export failed");
+        c->data_segids.push_back(sid.value());
+      }
+      // Signal the analytics program through shared memory.
+      const u64 go = signals;
+      XEMEM_ASSERT(c->sim_os->proc_write(*c->sim_proc, c->ctl_va + kGoOff, &go,
+                                         sizeof(go))
+                       .ok());
+      if (!cfg.async) {
+        // Synchronous model: wait for the analytics pass to complete.
+        co_await poll_at_least(*c->sim_os, *c->sim_proc, c->ctl_va + kDoneOff,
+                               signals, cfg.poll_interval);
+      }
+    }
+  }
+
+  c->result.sim_seconds = ns_to_s(sim::now() - start);
+  c->result.residual = cg.residual_norm();
+  c->result.solution_error = cg.solution_error();
+  c->sim_finished.set();
+}
+
+sim::Task<void> analytics_actor(Ctx* c) {
+  const InsituConfig& cfg = c->cfg;
+  const sim::TimePoint start = sim::now();
+
+  // Attach the control page (signal variables).
+  auto ctl_grant = co_await c->an_k->xpmem_get(c->ctl_segid);
+  XEMEM_ASSERT(ctl_grant.ok());
+  auto ctl_att =
+      co_await c->an_k->xpmem_attach(*c->an_proc, ctl_grant.value(), 0, kPageSize);
+  XEMEM_ASSERT(ctl_att.ok());
+  co_await c->an_os->touch_attached(*c->an_proc, ctl_att.value().va, 1);
+
+  Stream stream(cfg.stream_elems);
+  XpmemGrant data_grant{};
+  XpmemAttachment data_att{};
+  bool attached = false;
+
+  for (u32 k = 1; k <= c->total_signals; ++k) {
+    co_await poll_at_least(*c->an_os, *c->an_proc, ctl_att.value().va + kGoOff, k,
+                           cfg.poll_interval);
+
+    if (cfg.recurring || !attached) {
+      // Discover the exported region by name and attach it.
+      const auto name = data_name(cfg.run_tag, cfg.recurring ? k : 1);
+      auto sid = co_await c->an_k->xpmem_search(name);
+      XEMEM_ASSERT_MSG(sid.ok(), "exported region not discoverable");
+      auto g = co_await c->an_k->xpmem_get(sid.value());
+      XEMEM_ASSERT(g.ok());
+      data_grant = g.value();
+      auto att = co_await c->an_k->xpmem_attach(*c->an_proc, data_grant, 0,
+                                                cfg.region_bytes);
+      XEMEM_ASSERT_MSG(att.ok(), "data attach failed");
+      data_att = att.value();
+      attached = true;
+      ++c->result.attaches_performed;
+      // First touch: under single-OS Linux fault semantics this is where
+      // the per-page fault cost lands (paper section 6.4).
+      co_await c->an_os->touch_attached(*c->an_proc, data_att.va, data_att.pages);
+    }
+
+    // Copy the shared region into a private array (read + write traffic)
+    // and verify real data through the real mapping. VM personalities pay
+    // their nested-paging overhead on streaming work.
+    const double vfac = c->an_os->mem_overhead_factor();
+    co_await streamed_work(c->an_core, c->an_os->membw(),
+                           static_cast<u64>(2.0 * static_cast<double>(cfg.region_bytes) * vfac));
+    std::vector<double> probe(std::min<u64>(cfg.stream_elems, 4096));
+    XEMEM_ASSERT(c->an_os->proc_read(*c->an_proc, data_att.va, probe.data(),
+                                     probe.size() * sizeof(double))
+                     .ok());
+    stream.load(probe.data(), probe.size());
+
+    // STREAM over the private array: real kernels, modeled traffic.
+    stream.pass();
+    co_await streamed_work(
+        c->an_core, c->an_os->membw(),
+        static_cast<u64>(static_cast<double>(cfg.stream_passes *
+                                             Stream::bytes_per_pass(cfg.region_bytes)) *
+                         vfac));
+
+    if (cfg.recurring) {
+      XEMEM_ASSERT((co_await c->an_k->xpmem_detach(*c->an_proc, data_att)).ok());
+      XEMEM_ASSERT((co_await c->an_k->xpmem_release(data_grant)).ok());
+      attached = false;
+    }
+
+    // Signal completion back to the simulation.
+    const u64 done = k;
+    XEMEM_ASSERT(c->an_os->proc_write(*c->an_proc, ctl_att.value().va + kDoneOff,
+                                      &done, sizeof(done))
+                     .ok());
+  }
+
+  if (attached) {
+    XEMEM_ASSERT((co_await c->an_k->xpmem_detach(*c->an_proc, data_att)).ok());
+    XEMEM_ASSERT((co_await c->an_k->xpmem_release(data_grant)).ok());
+  }
+  XEMEM_ASSERT((co_await c->an_k->xpmem_detach(*c->an_proc, ctl_att.value())).ok());
+  XEMEM_ASSERT((co_await c->an_k->xpmem_release(ctl_grant.value())).ok());
+
+  c->result.analytics_seconds = ns_to_s(sim::now() - start);
+  c->analytics_finished.set();
+}
+
+}  // namespace
+
+sim::Task<InsituResult> run_insitu(Node& node, const std::string& sim_enclave,
+                                   const std::string& analytics_enclave,
+                                   InsituConfig cfg) {
+  auto ctx = std::make_unique<Ctx>();
+  Ctx* c = ctx.get();
+  c->cfg = cfg;
+  c->sim_k = &node.kernel(sim_enclave);
+  c->an_k = &node.kernel(analytics_enclave);
+  c->sim_os = &node.enclave(sim_enclave);
+  c->an_os = &node.enclave(analytics_enclave);
+  c->total_signals = cfg.iterations / cfg.signal_every;
+
+  // Simulation image: control page + data region + slack.
+  auto sim_proc = c->sim_os->create_process(cfg.region_bytes + 2 * kPageSize);
+  XEMEM_ASSERT_MSG(sim_proc.ok(), "simulation process creation failed");
+  c->sim_proc = sim_proc.value();
+  auto an_proc = c->an_os->create_process(4ull << 20);
+  XEMEM_ASSERT_MSG(an_proc.ok(), "analytics process creation failed");
+  c->an_proc = an_proc.value();
+
+  const bool same_enclave = c->sim_os == c->an_os;
+  c->sim_core = app_core(*c->sim_os, 0);
+  c->an_core = app_core(*c->an_os, same_enclave ? 1 : 0);
+
+  c->ctl_va = c->sim_proc->image_base();
+  c->data_va = c->sim_proc->image_base() + kPageSize;
+
+  // Export the control page, and the data region for the one-time model.
+  auto ctl = co_await c->sim_k->xpmem_make(*c->sim_proc, c->ctl_va, kPageSize,
+                                           ctl_name(cfg.run_tag));
+  XEMEM_ASSERT_MSG(ctl.ok(), "control export failed");
+  c->ctl_segid = ctl.value();
+  if (!cfg.recurring) {
+    auto sid = co_await c->sim_k->xpmem_make(*c->sim_proc, c->data_va,
+                                             cfg.region_bytes,
+                                             data_name(cfg.run_tag, 1));
+    XEMEM_ASSERT_MSG(sid.ok(), "data export failed");
+    c->data_segids.push_back(sid.value());
+  }
+
+  auto* eng = sim::Engine::current();
+  eng->spawn(simulation_actor(c));
+  eng->spawn(analytics_actor(c));
+  co_await c->sim_finished.wait();
+  co_await c->analytics_finished.wait();
+
+  // Teardown: withdraw every export; all attachments are detached by now,
+  // so removal must succeed and leave the machine leak-free.
+  for (Segid sid : c->data_segids) {
+    XEMEM_ASSERT((co_await c->sim_k->xpmem_remove(*c->sim_proc, sid)).ok());
+  }
+  XEMEM_ASSERT((co_await c->sim_k->xpmem_remove(*c->sim_proc, c->ctl_segid)).ok());
+
+  co_return c->result;
+}
+
+}  // namespace xemem::workloads

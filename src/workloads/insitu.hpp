@@ -1,0 +1,80 @@
+// Composed in-situ workload (paper sections 6-7).
+//
+// Couples the HPC simulation (HPCCG conjugate gradient) with the analytics
+// program (STREAM) through XEMEM shared memory, reproducing the paper's
+// benchmark structure:
+//
+//  * The simulation exports a data region and a small control page. Every
+//    `signal_every` iterations it signals the analytics program by writing
+//    a counter in shared memory; the analytics program polls that counter
+//    (the paper: "operations like event notifications must be supported
+//    via ad hoc techniques like polling on variables in memory").
+//  * Synchronous model: the simulation then polls a done-counter until the
+//    analytics pass completes. Asynchronous model: it continues
+//    immediately and the two contend for the socket's memory bandwidth.
+//  * One-time model: the data region is exported/attached once. Recurring
+//    model: the simulation exports a fresh region at every communication
+//    point, which the analytics program discovers by name, attaches,
+//    processes, and detaches — paying the full attachment path each time.
+//
+// The CG arithmetic and STREAM kernels execute for real on scaled-down
+// arrays; per-iteration *charged* work is configured to the paper's
+// problem scale (see the Figure 8/9 harnesses for the calibration).
+#pragma once
+
+#include <string>
+
+#include "net/fabric.hpp"
+#include "workloads/hpccg.hpp"
+#include "workloads/stream.hpp"
+#include "xemem/system.hpp"
+
+namespace xemem::workloads {
+
+struct InsituConfig {
+  // Workflow shape (paper section 6.1: 600 iterations, signal every 40).
+  u32 iterations{600};
+  u32 signal_every{40};
+  u64 region_bytes{512ull << 20};
+  bool async{false};
+  bool recurring{false};
+
+  // Modeled per-iteration simulation work (calibrated in the harnesses).
+  u64 sim_compute_ns{132'000'000};
+  u64 sim_mem_bytes{1ull << 30};
+
+  // Analytics: full STREAM passes over the (modeled) region per signal.
+  u32 stream_passes{1};
+
+  // Real-math scale (grid for CG, elements for STREAM).
+  u32 grid{12};
+  u32 stream_elems{1 << 16};
+
+  // Multi-node (Figure 9): per-iteration collectives on this communicator.
+  net::Communicator* comm{nullptr};
+  u64 allreduce_bytes{16};
+
+  // Polling granularity for the shared-memory signal variables.
+  sim::Duration poll_interval{200'000};  // 200 us
+
+  // Unique tag for published segment names (one per concurrent run).
+  u64 run_tag{0};
+};
+
+struct InsituResult {
+  double sim_seconds{0};      ///< HPC simulation completion time
+  double residual{0};         ///< CG residual after the run (real math)
+  double solution_error{0};   ///< max |x_i - 1| against the exact solution
+  u32 attaches_performed{0};  ///< analytics-side attachment count
+  double analytics_seconds{0};
+};
+
+/// Run one composed in-situ benchmark between two enclaves of @p node.
+/// The simulation process runs in @p sim_enclave, analytics in
+/// @p analytics_enclave (they may be the same enclave — the paper's
+/// Linux-only baseline). Returns when both components finish.
+sim::Task<InsituResult> run_insitu(Node& node, const std::string& sim_enclave,
+                                   const std::string& analytics_enclave,
+                                   InsituConfig cfg);
+
+}  // namespace xemem::workloads

@@ -1,0 +1,64 @@
+// STREAM kernels (real arithmetic), from the HPC Challenge suite.
+//
+// The paper's analytics component runs STREAM over the region exported by
+// the simulation (section 6.1): it first copies the shared memory into a
+// private array, then executes the four STREAM kernels over it. The
+// arithmetic here is real (checksummed in tests); the in-situ harness
+// charges the *modeled* region's memory traffic to the simulator
+// separately, since STREAM is bandwidth-bound.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace xemem::workloads {
+
+class Stream {
+ public:
+  explicit Stream(size_t n) : a_(n, 1.0), b_(n, 2.0), c_(n, 0.0) {}
+
+  void copy() {
+    for (size_t i = 0; i < a_.size(); ++i) c_[i] = a_[i];
+  }
+  void scale(double s) {
+    for (size_t i = 0; i < a_.size(); ++i) b_[i] = s * c_[i];
+  }
+  void add() {
+    for (size_t i = 0; i < a_.size(); ++i) c_[i] = a_[i] + b_[i];
+  }
+  void triad(double s) {
+    for (size_t i = 0; i < a_.size(); ++i) a_[i] = b_[i] + s * c_[i];
+  }
+
+  /// One full STREAM pass (copy, scale, add, triad).
+  void pass(double s = 3.0) {
+    copy();
+    scale(s);
+    add();
+    triad(s);
+  }
+
+  /// Load external data into the source array (the "copy shared memory to
+  /// a private array" step of the paper's analytics program).
+  void load(const double* src, size_t n) {
+    for (size_t i = 0; i < n && i < a_.size(); ++i) a_[i] = src[i];
+  }
+
+  double checksum() const {
+    double s = 0;
+    for (size_t i = 0; i < a_.size(); ++i) s += a_[i] + b_[i] + c_[i];
+    return s;
+  }
+
+  size_t size() const { return a_.size(); }
+
+  /// Bytes moved per full pass for a modeled array of @p array_bytes
+  /// (copy 2x, scale 2x, add 3x, triad 3x => 10 array lengths).
+  static u64 bytes_per_pass(u64 array_bytes) { return 10 * array_bytes; }
+
+ private:
+  std::vector<double> a_, b_, c_;
+};
+
+}  // namespace xemem::workloads

@@ -1,0 +1,55 @@
+// XPMEM-compatible user-level API types (paper Table 1).
+//
+// The XEMEM API is backwards compatible with SGI/Cray XPMEM so unmodified
+// applications run without knowledge of enclave topology:
+//
+//   xpmem_make    — export an address region, returns a segid
+//   xpmem_remove  — withdraw an exported region
+//   xpmem_get     — request access to a segid, returns a permission grant
+//   xpmem_release — drop a permission grant
+//   xpmem_attach  — map (part of) a granted region, returns a local VA
+//   xpmem_detach  — unmap an attachment
+//
+// The operations live on xemem::XememKernel (the per-enclave kernel
+// module); these are the value types they exchange with user code.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace xemem {
+
+/// Access mode of an export or grant (XPMEM's permit model, reduced to the
+/// two modes the kernel interface distinguishes: XPMEM_RDONLY/XPMEM_RDWR).
+enum class AccessMode : u8 { read_only, read_write };
+
+/// Permission grant returned by xpmem_get: the right to attach (parts of)
+/// the segment. Carries the region size so callers can bound attachments,
+/// and the granted access mode (attachments under a read-only grant map
+/// without write permission — enforced at the PTE level).
+struct XpmemGrant {
+  Segid segid{};
+  u64 size{0};
+  AccessMode mode{AccessMode::read_write};
+
+  bool valid() const { return segid.valid(); }
+};
+
+/// A live attachment returned by xpmem_attach.
+///
+/// XPMEM permits byte-granular offsets: the kernel maps whole pages but
+/// `va` points at the requested byte. `map_base` is the page-aligned
+/// mapping start (what detach unmaps); `va - map_base` is the sub-page
+/// offset of the request.
+struct XpmemAttachment {
+  Segid segid{};
+  Vaddr va{};        ///< address of the requested offset (may be unaligned)
+  Vaddr map_base{};  ///< page-aligned base of the underlying mapping
+  u64 pages{0};
+  EnclaveId owner{EnclaveId::invalid()};
+  u64 owner_handle{0};  ///< owner-side pin record (sent back on detach)
+  bool local{false};    ///< owner is in the attacher's own enclave
+
+  u64 bytes() const { return pages * kPageSize; }
+};
+
+}  // namespace xemem

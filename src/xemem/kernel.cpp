@@ -1,0 +1,759 @@
+#include "xemem/kernel.hpp"
+
+#include "common/log.hpp"
+#include "sim/engine.hpp"
+
+namespace xemem {
+
+namespace {
+// Globally unique request ids (the simulator is single-threaded; a plain
+// counter suffices and keeps intermediate forwarding tables collision-free
+// even before enclaves hold ids).
+u64 g_req_counter = 1;
+}  // namespace
+
+XememKernel::XememKernel(os::Enclave& os, bool is_name_server)
+    : os_(os), is_ns_(is_name_server) {}
+
+void XememKernel::add_channel(ChannelEndpoint* ep) {
+  channels_.push_back(ep);
+  // Channels appear at co-kernel/VM boot time, which may be long after
+  // this kernel started (dynamic repartitioning): service it immediately.
+  if (started_) sim::Engine::current()->spawn(service_loop(ep));
+}
+
+void XememKernel::start() {
+  XEMEM_ASSERT(!started_);
+  started_ = true;
+  auto* eng = sim::Engine::current();
+  for (auto* ep : channels_) eng->spawn(service_loop(ep));
+  if (is_ns_) {
+    os_.set_id(EnclaveId{0});
+    registered_.set();
+  } else {
+    eng->spawn(discovery());
+  }
+}
+
+sim::Task<void> XememKernel::wait_registered() { co_await registered_.wait(); }
+
+sim::Task<Result<void>> XememKernel::shutdown() {
+  XEMEM_ASSERT_MSG(!is_ns_, "the name-server enclave cannot shut down");
+  for (const auto& [sid, rec] : exports_) {
+    if (rec.attachments > 0) co_return Errc::busy;
+  }
+  // Withdraw every export from the global name space.
+  std::vector<u64> sids;
+  sids.reserve(exports_.size());
+  for (const auto& [sid, rec] : exports_) sids.push_back(sid);
+  for (u64 sid : sids) {
+    Message req;
+    req.cmd = Cmd::segid_remove;
+    req.dst = EnclaveId{0};
+    req.segid = Segid{sid};
+    auto resp = co_await request(std::move(req));
+    if (!resp.ok()) co_return resp.error();
+    exports_.erase(sid);
+  }
+  // Tell the name server to retire this enclave (one-way; also retires any
+  // segids registered but not locally tracked).
+  Message bye;
+  bye.cmd = Cmd::enclave_shutdown;
+  bye.dst = EnclaveId{0};
+  bye.src = id();
+  bye.req_id = g_req_counter++;
+  ChannelEndpoint* via = route_for(bye.dst);
+  if (via != nullptr) co_await via->send(std::move(bye));
+  stopped_ = true;
+  co_return Result<void>{};
+}
+
+// --------------------------------------------------------------- discovery
+
+sim::Task<void> XememKernel::discovery() {
+  // Paper section 3.2: broadcast on every channel until some neighbor
+  // responds that it knows a path to the name server; then request an
+  // enclave ID through that channel.
+  while (ns_channel_ == nullptr) {
+    for (auto* ep : channels_) {
+      Message ping;
+      ping.cmd = Cmd::ping_ns;
+      auto resp = co_await request(std::move(ping), ep, kPingTimeout);
+      if (resp.ok() && resp.value().status == Errc::ok) {
+        ns_channel_ = ep;
+        break;
+      }
+    }
+    if (ns_channel_ == nullptr) co_await sim::delay(200'000 /*200us backoff*/);
+  }
+
+  Message alloc;
+  alloc.cmd = Cmd::alloc_enclave_id;
+  alloc.dst = EnclaveId{0};
+  auto resp = co_await request(std::move(alloc), ns_channel_);
+  XEMEM_ASSERT_MSG(resp.ok() && resp.value().status == Errc::ok,
+                   "enclave id allocation failed");
+  os_.set_id(EnclaveId{resp.value().payload.at(0)});
+  XLOG_DEBUG("xemem", "%s registered as enclave %llu", os_.name().c_str(),
+             static_cast<unsigned long long>(id().value()));
+  registered_.set();
+}
+
+// ---------------------------------------------------------------- plumbing
+
+sim::Task<void> XememKernel::service_loop(ChannelEndpoint* ep) {
+  for (;;) {
+    Message msg = co_await ep->inbox().recv();
+    co_await handle(std::move(msg), ep);
+  }
+}
+
+ChannelEndpoint* XememKernel::route_for(EnclaveId dst) {
+  auto it = enclave_map_.find(dst.value());
+  if (it != enclave_map_.end()) return it->second;
+  return ns_channel_;  // default route: toward the name server
+}
+
+sim::Task<Result<Message>> XememKernel::request(Message msg) {
+  co_return co_await request(std::move(msg), nullptr);
+}
+
+sim::Task<void> XememKernel::timeout_actor(XememKernel* k, u64 rid,
+                                           sim::Duration t) {
+  co_await sim::delay(t);
+  auto it = k->pending_resp_.find(rid);
+  if (it != k->pending_resp_.end()) {
+    // Deliver an expiry sentinel; the real response (if it ever arrives)
+    // is dropped as an orphan because the waiter has gone.
+    Message expired;
+    expired.req_id = rid;
+    expired.status = Errc::unreachable;
+    it->second->send(std::move(expired));
+  }
+}
+
+sim::Task<Result<Message>> XememKernel::request(Message msg, ChannelEndpoint* via,
+                                                sim::Duration timeout) {
+  msg.req_id = g_req_counter++;
+  if (msg.src == EnclaveId::invalid()) msg.src = id();
+  const u64 rid = msg.req_id;
+  if (via == nullptr) via = route_for(msg.dst);
+  if (via == nullptr) co_return Errc::unreachable;
+  if (timeout == 0) timeout = kRequestTimeout;
+
+  sim::Mailbox<Message> mb;
+  pending_resp_[rid] = &mb;
+  sim::Engine::current()->spawn(timeout_actor(this, rid, timeout));
+  co_await via->send(std::move(msg));
+  Message resp = co_await mb.recv();
+  pending_resp_.erase(rid);
+  if (resp.status == Errc::unreachable && resp.cmd == Cmd::ping_ns) {
+    co_return Errc::unreachable;  // expiry sentinel (default-constructed cmd)
+  }
+  co_return resp;
+}
+
+sim::Task<Result<Message>> XememKernel::request_to_owner(Message msg) {
+  if (is_ns_) {
+    // We *are* the name server: resolve the owner locally instead of
+    // sending to ourselves.
+    auto it = ns_segids_.find(msg.segid.value());
+    if (it == ns_segids_.end()) co_return Errc::no_such_segid;
+    co_await os_.service_core()->run_irq(costs::kNameServerOp);
+    msg.dst = it->second.owner;
+    XEMEM_ASSERT_MSG(msg.dst != EnclaveId{0},
+                     "NS-owned segid must use the local fast path");
+  } else {
+    msg.dst = EnclaveId{0};
+  }
+  co_return co_await request(std::move(msg));
+}
+
+sim::Task<void> XememKernel::forward(Message msg, ChannelEndpoint* from) {
+  // Requests remember their inbound channel so the response can retrace
+  // the path even before routing tables know the requester.
+  if (!msg.is_response()) pending_fwd_[msg.req_id] = from;
+  ++stats_.messages_forwarded;
+  ChannelEndpoint* out = route_for(msg.dst);
+  // Note: out == from is legitimate — e.g. the name server bouncing an
+  // attach back down the same link when the owner lives in the subtree the
+  // request came from. The hierarchy is a tree, so forwarding terminates.
+  XEMEM_ASSERT_MSG(out != nullptr, "routing dead end");
+  co_await os_.service_core()->run_irq(costs::kRouteHop);
+  co_await out->send(std::move(msg));
+}
+
+sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
+  // 1. Responses retracing a forwarded request.
+  if (msg.is_response()) {
+    auto fwd = pending_fwd_.find(msg.req_id);
+    if (fwd != pending_fwd_.end()) {
+      ChannelEndpoint* back = fwd->second;
+      pending_fwd_.erase(fwd);
+      // Learn routes from enclave-id allocations passing through us
+      // (paper section 3.2's LWK D / VM F example).
+      if (msg.cmd == Cmd::enclave_id_resp && msg.status == Errc::ok) {
+        enclave_map_[msg.payload.at(0)] = back;
+      }
+      co_await os_.service_core()->run_irq(costs::kRouteHop);
+      co_await back->send(std::move(msg));
+      co_return;
+    }
+    auto wait = pending_resp_.find(msg.req_id);
+    if (wait != pending_resp_.end()) {
+      wait->second->send(std::move(msg));
+      co_return;
+    }
+    XLOG_WARN("xemem", "%s: dropping orphan response %s", os_.name().c_str(),
+              cmd_name(msg.cmd));
+    co_return;
+  }
+
+  // 2. Channel-local probes are answered immediately, never forwarded.
+  if (msg.cmd == Cmd::ping_ns) {
+    Message resp;
+    resp.cmd = Cmd::ping_ns_resp;
+    resp.req_id = msg.req_id;
+    resp.src = id();
+    resp.status = (is_ns_ || ns_channel_ != nullptr) ? Errc::ok : Errc::unreachable;
+    co_await from->send(std::move(resp));
+    co_return;
+  }
+
+  // 3. Name-server-addressed traffic.
+  if (msg.dst == EnclaveId{0}) {
+    if (is_ns_) {
+      co_await ns_handle(std::move(msg), from);
+    } else {
+      co_await forward(std::move(msg), from);
+    }
+    co_return;
+  }
+
+  // 4. Traffic addressed to this enclave: owner-side servicing.
+  if (msg.dst == id()) {
+    switch (msg.cmd) {
+      case Cmd::get: {
+        Message resp = co_await serve_get(msg);
+        co_await route_response(std::move(resp), from);
+        co_return;
+      }
+      case Cmd::attach: {
+        Message resp = co_await serve_attach(msg);
+        co_await route_response(std::move(resp), from);
+        co_return;
+      }
+      case Cmd::detach: {
+        Message resp = co_await serve_detach(msg);
+        co_await route_response(std::move(resp), from);
+        co_return;
+      }
+      case Cmd::release: {
+        auto it = exports_.find(msg.segid.value());
+        if (it != exports_.end() && it->second.grants > 0) --it->second.grants;
+        co_return;  // one-way
+      }
+      default:
+        XLOG_WARN("xemem", "%s: unexpected command %s", os_.name().c_str(),
+                  cmd_name(msg.cmd));
+        co_return;
+    }
+  }
+
+  // 5. Everything else is in transit.
+  co_await forward(std::move(msg), from);
+}
+
+sim::Task<void> XememKernel::route_response(Message resp, ChannelEndpoint* from) {
+  ChannelEndpoint* out = route_for(resp.dst);
+  if (out == nullptr) out = from;  // fall back to retracing the request path
+  co_await out->send(std::move(resp));
+}
+
+// ------------------------------------------------------------- name server
+
+sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
+  XEMEM_ASSERT(is_ns_);
+  ++stats_.ns_requests;
+  co_await os_.service_core()->run_irq(costs::kNameServerOp);
+
+  Message resp;
+  resp.req_id = msg.req_id;
+  resp.src = EnclaveId{0};
+  resp.dst = msg.src;
+  resp.status = Errc::ok;
+
+  switch (msg.cmd) {
+    case Cmd::enclave_shutdown: {
+      enclave_map_.erase(msg.src.value());
+      for (auto it = ns_segids_.begin(); it != ns_segids_.end();) {
+        if (it->second.owner == msg.src) {
+          if (!it->second.name.empty()) ns_names_.erase(it->second.name);
+          it = ns_segids_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      co_return;  // one-way
+    }
+    case Cmd::alloc_enclave_id: {
+      const u64 fresh = next_enclave_id_++;
+      enclave_map_[fresh] = from;
+      resp.cmd = Cmd::enclave_id_resp;
+      resp.dst = EnclaveId{fresh};
+      resp.payload.push_back(fresh);
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::segid_alloc: {
+      if (!msg.name.empty() && ns_names_.contains(msg.name)) {
+        resp.cmd = Cmd::segid_alloc_resp;
+        resp.status = Errc::already_exists;
+        co_await from->send(std::move(resp));
+        co_return;
+      }
+      const Segid sid{next_segid_++};
+      ns_segids_[sid.value()] = NsSegidRecord{msg.src, msg.size, msg.name};
+      if (!msg.name.empty()) ns_names_[msg.name] = sid;
+      resp.cmd = Cmd::segid_alloc_resp;
+      resp.segid = sid;
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::segid_remove: {
+      auto it = ns_segids_.find(msg.segid.value());
+      resp.cmd = Cmd::segid_remove_resp;
+      if (it == ns_segids_.end()) {
+        resp.status = Errc::no_such_segid;
+      } else {
+        if (!it->second.name.empty()) ns_names_.erase(it->second.name);
+        ns_segids_.erase(it);
+      }
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::name_lookup: {
+      resp.cmd = Cmd::name_lookup_resp;
+      auto it = ns_names_.find(msg.name);
+      if (it == ns_names_.end()) {
+        resp.status = Errc::no_such_segid;
+      } else {
+        resp.segid = it->second;
+        resp.size = ns_segids_[it->second.value()].size;
+      }
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::name_list: {
+      resp.cmd = Cmd::name_list_resp;
+      for (const auto& [name, sid] : ns_names_) {
+        if (!resp.name.empty()) resp.name += '\n';
+        resp.name += name;
+        resp.payload.push_back(sid.value());
+      }
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::get:
+    case Cmd::attach:
+    case Cmd::detach:
+    case Cmd::release: {
+      // Forward to the owning enclave (paper section 4.2: "the name
+      // server, which maps segids to enclaves, forwards the command to
+      // the destination enclave which owns the segid").
+      auto it = ns_segids_.find(msg.segid.value());
+      if (it == ns_segids_.end()) {
+        if (msg.cmd == Cmd::release) co_return;  // one-way: drop
+        Message err;
+        err.cmd = msg.cmd == Cmd::get      ? Cmd::get_resp
+                  : msg.cmd == Cmd::attach ? Cmd::attach_resp
+                                           : Cmd::detach_resp;
+        err.req_id = msg.req_id;
+        err.src = EnclaveId{0};
+        err.dst = msg.src;
+        err.status = Errc::no_such_segid;
+        co_await from->send(std::move(err));
+        co_return;
+      }
+      const EnclaveId owner = it->second.owner;
+      if (owner == EnclaveId{0}) {
+        // The name server's own enclave owns the segid: serve directly.
+        Message resp2;
+        switch (msg.cmd) {
+          case Cmd::get: resp2 = co_await serve_get(msg); break;
+          case Cmd::attach: resp2 = co_await serve_attach(msg); break;
+          case Cmd::detach: resp2 = co_await serve_detach(msg); break;
+          default: {
+            auto ex = exports_.find(msg.segid.value());
+            if (ex != exports_.end() && ex->second.grants > 0) --ex->second.grants;
+            co_return;
+          }
+        }
+        co_await from->send(std::move(resp2));
+        co_return;
+      }
+      msg.dst = owner;
+      co_await forward(std::move(msg), from);
+      co_return;
+    }
+    default:
+      XLOG_WARN("xemem", "name server: unexpected %s", cmd_name(msg.cmd));
+      co_return;
+  }
+}
+
+// ----------------------------------------------------- owner-side servicing
+
+sim::Task<Message> XememKernel::serve_get(const Message& msg) {
+  Message resp;
+  resp.cmd = Cmd::get_resp;
+  resp.req_id = msg.req_id;
+  resp.src = id();
+  resp.dst = msg.src;
+  auto it = exports_.find(msg.segid.value());
+  if (it == exports_.end()) {
+    resp.status = Errc::no_such_segid;
+    co_return resp;
+  }
+  const auto want = static_cast<AccessMode>(msg.access);
+  if (want == AccessMode::read_write &&
+      it->second.max_access == AccessMode::read_only) {
+    resp.status = Errc::permission_denied;
+    co_return resp;
+  }
+  ++it->second.grants;
+  resp.status = Errc::ok;
+  resp.segid = msg.segid;
+  resp.size = it->second.pages * kPageSize;
+  resp.access = msg.access;
+  co_return resp;
+}
+
+sim::Task<Message> XememKernel::serve_attach(const Message& msg) {
+  Message resp;
+  resp.cmd = Cmd::attach_resp;
+  resp.req_id = msg.req_id;
+  resp.src = id();
+  resp.dst = msg.src;
+
+  auto it = exports_.find(msg.segid.value());
+  if (it == exports_.end()) {
+    resp.status = Errc::no_such_segid;
+    co_return resp;
+  }
+  ExportRecord& rec = it->second;
+  const u64 pages = pages_for(msg.size);
+  if ((msg.offset & kPageMask) != 0 ||
+      (msg.offset >> kPageShift) + pages > rec.pages || pages == 0) {
+    resp.status = Errc::invalid_argument;
+    co_return resp;
+  }
+
+  auto frames = co_await os_.service_make_pfn_list(*rec.proc,
+                                                   rec.va + msg.offset, pages);
+  if (!frames.ok()) {
+    resp.status = frames.error();
+    co_return resp;
+  }
+  pin_frames(frames.value());
+  ++stats_.attaches_served;
+  stats_.pages_shared += frames.value().page_count();
+  const u64 handle = next_handle_++;
+  ++rec.attachments;
+  resp.status = Errc::ok;
+  resp.segid = msg.segid;
+  resp.offset = handle;  // owner-side pin handle, echoed back on detach
+  resp.size = msg.size;
+  resp.payload.reserve(frames.value().page_count());
+  for (Pfn p : frames.value().pfns) resp.payload.push_back(p.value());
+  pins_.emplace(handle, PinRecord{msg.segid, std::move(frames).value()});
+  co_return resp;
+}
+
+sim::Task<Message> XememKernel::serve_detach(const Message& msg) {
+  Message resp;
+  resp.cmd = Cmd::detach_resp;
+  resp.req_id = msg.req_id;
+  resp.src = id();
+  resp.dst = msg.src;
+
+  auto pin = pins_.find(msg.offset);  // offset carries the owner handle
+  if (pin == pins_.end() || pin->second.segid != msg.segid) {
+    resp.status = Errc::not_attached;
+    co_return resp;
+  }
+  unpin_frames(pin->second.frames);
+  pins_.erase(pin);
+  auto ex = exports_.find(msg.segid.value());
+  if (ex != exports_.end()) {
+    XEMEM_ASSERT(ex->second.attachments > 0);
+    --ex->second.attachments;
+  }
+  resp.status = Errc::ok;
+  co_return resp;
+}
+
+void XememKernel::pin_frames(const mm::PfnList& frames) {
+  auto& pm = os_.machine().pmem();
+  for (Pfn p : frames.pfns) pm.ref(p);
+}
+
+void XememKernel::unpin_frames(const mm::PfnList& frames) {
+  auto& pm = os_.machine().pmem();
+  for (Pfn p : frames.pfns) pm.unref(p);
+}
+
+u64 XememKernel::pinned_frames() const {
+  u64 n = 0;
+  for (const auto& [h, rec] : pins_) n += rec.frames.page_count();
+  return n;
+}
+
+// ---------------------------------------------------------------- user API
+
+sim::Task<Result<Segid>> XememKernel::xpmem_make(os::Process& owner, Vaddr va,
+                                                 u64 size, std::string name,
+                                                 AccessMode max_access) {
+  if ((va.value() & kPageMask) != 0 || size == 0) co_return Errc::invalid_argument;
+  const u64 pages = pages_for(size);
+
+  Segid sid{};
+  if (is_ns_) {
+    co_await os_.service_core()->run_irq(costs::kNameServerOp);
+    if (!name.empty()) {
+      if (ns_names_.contains(name)) co_return Errc::already_exists;
+    }
+    sid = Segid{next_segid_++};
+    ns_segids_[sid.value()] = NsSegidRecord{EnclaveId{0}, size, name};
+    if (!name.empty()) ns_names_[name] = sid;
+  } else {
+    Message req;
+    req.cmd = Cmd::segid_alloc;
+    req.dst = EnclaveId{0};
+    req.size = size;
+    req.name = name;
+    auto resp = co_await request(std::move(req));
+    if (!resp.ok()) co_return resp.error();
+    if (resp.value().status != Errc::ok) co_return resp.value().status;
+    sid = resp.value().segid;
+  }
+  exports_.emplace(sid.value(),
+                   ExportRecord{&owner, va, pages, std::move(name), max_access});
+  ++stats_.makes;
+  co_return sid;
+}
+
+sim::Task<Result<void>> XememKernel::xpmem_remove(os::Process& owner, Segid segid) {
+  auto it = exports_.find(segid.value());
+  if (it == exports_.end()) co_return Errc::no_such_segid;
+  if (it->second.proc != &owner) co_return Errc::permission_denied;
+  if (it->second.attachments > 0) co_return Errc::busy;
+
+  if (is_ns_) {
+    co_await os_.service_core()->run_irq(costs::kNameServerOp);
+    auto ns = ns_segids_.find(segid.value());
+    if (ns != ns_segids_.end()) {
+      if (!ns->second.name.empty()) ns_names_.erase(ns->second.name);
+      ns_segids_.erase(ns);
+    }
+  } else {
+    Message req;
+    req.cmd = Cmd::segid_remove;
+    req.dst = EnclaveId{0};
+    req.segid = segid;
+    auto resp = co_await request(std::move(req));
+    if (!resp.ok()) co_return resp.error();
+    if (resp.value().status != Errc::ok) co_return resp.value().status;
+  }
+  exports_.erase(it);
+  co_return Result<void>{};
+}
+
+sim::Task<Result<XpmemGrant>> XememKernel::xpmem_get(Segid segid, AccessMode want) {
+  if (!segid.valid()) co_return Errc::invalid_argument;
+  // Local fast path.
+  auto it = exports_.find(segid.value());
+  if (it != exports_.end()) {
+    if (want == AccessMode::read_write &&
+        it->second.max_access == AccessMode::read_only) {
+      co_return Errc::permission_denied;
+    }
+    ++it->second.grants;
+    co_return XpmemGrant{segid, it->second.pages * kPageSize, want};
+  }
+  Message req;
+  req.cmd = Cmd::get;
+  req.dst = EnclaveId{0};
+  req.segid = segid;
+  req.access = static_cast<u8>(want);
+  auto resp = co_await request_to_owner(std::move(req));
+  if (!resp.ok()) co_return resp.error();
+  if (resp.value().status != Errc::ok) co_return resp.value().status;
+  co_return XpmemGrant{segid, resp.value().size,
+                       static_cast<AccessMode>(resp.value().access)};
+}
+
+sim::Task<Result<void>> XememKernel::xpmem_release(const XpmemGrant& grant) {
+  auto it = exports_.find(grant.segid.value());
+  if (it != exports_.end()) {
+    if (it->second.grants > 0) --it->second.grants;
+    co_return Result<void>{};
+  }
+  Message req;
+  req.cmd = Cmd::release;
+  req.dst = EnclaveId{0};
+  req.segid = grant.segid;
+  req.src = id();
+  req.req_id = g_req_counter++;
+  if (is_ns_) {
+    auto ns = ns_segids_.find(grant.segid.value());
+    if (ns == ns_segids_.end()) co_return Errc::no_such_segid;
+    req.dst = ns->second.owner;
+  }
+  ChannelEndpoint* via = route_for(req.dst);
+  if (via == nullptr) co_return Errc::unreachable;
+  co_await via->send(std::move(req));  // one-way
+  co_return Result<void>{};
+}
+
+sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attacher,
+                                                             const XpmemGrant& grant,
+                                                             u64 offset, u64 size) {
+  if (!grant.valid() || size == 0 || offset + size > grant.size) {
+    co_return Errc::invalid_argument;
+  }
+  // XPMEM permits byte-granular requests: map the covering pages and
+  // return an address pointing at the requested byte.
+  const u64 page_off = page_align_down(offset);
+  const u64 sub = offset - page_off;
+  const u64 pages = pages_for(sub + size);
+
+  // Local fast path: exporter lives in this enclave (paper section 4.2:
+  // "the attachment proceeds using the conventions of the local OS").
+  auto it = exports_.find(grant.segid.value());
+  if (it != exports_.end()) {
+    ExportRecord& rec = it->second;
+    if ((page_off >> kPageShift) + pages > rec.pages) {
+      co_return Errc::invalid_argument;
+    }
+    auto frames =
+        co_await os_.service_make_pfn_list(*rec.proc, rec.va + page_off, pages);
+    if (!frames.ok()) co_return frames.error();
+    pin_frames(frames.value());
+    ++stats_.attaches_served;
+    ++stats_.attaches_issued;
+    stats_.pages_shared += frames.value().page_count();
+    auto va = co_await os_.map_attachment(attacher, frames.value(),
+                                          os_.lazy_local_attach(),
+                                          grant.mode == AccessMode::read_write);
+    if (!va.ok()) {
+      unpin_frames(frames.value());
+      co_return va.error();
+    }
+    const u64 handle = next_handle_++;
+    ++rec.attachments;
+    pins_.emplace(handle, PinRecord{grant.segid, std::move(frames).value()});
+    co_return XpmemAttachment{grant.segid, va.value() + sub, va.value(), pages,
+                              id(), handle, true};
+  }
+
+  // Remote path: route the attach through the name server to the owner.
+  Message req;
+  req.cmd = Cmd::attach;
+  req.dst = EnclaveId{0};
+  req.segid = grant.segid;
+  req.offset = page_off;
+  req.size = pages * kPageSize;
+  auto resp = co_await request_to_owner(std::move(req));
+  if (!resp.ok()) co_return resp.error();
+  Message& r = resp.value();
+  if (r.status != Errc::ok) co_return r.status;
+
+  mm::PfnList frames;
+  frames.pfns.reserve(r.payload.size());
+  for (u64 v : r.payload) frames.pfns.push_back(Pfn{v});
+  ++stats_.attaches_issued;
+  auto va = co_await os_.map_attachment(attacher, frames, false,
+                                        grant.mode == AccessMode::read_write);
+  if (!va.ok()) co_return va.error();
+  co_return XpmemAttachment{grant.segid, va.value() + sub, va.value(), pages,
+                            r.src, r.offset, false};
+}
+
+sim::Task<Result<void>> XememKernel::xpmem_detach(os::Process& attacher,
+                                                  const XpmemAttachment& att) {
+  auto unmapped = co_await os_.unmap_attachment(attacher, att.map_base, att.pages);
+  if (!unmapped.ok()) co_return unmapped;
+
+  if (att.local) {
+    auto pin = pins_.find(att.owner_handle);
+    if (pin == pins_.end()) co_return Errc::not_attached;
+    unpin_frames(pin->second.frames);
+    pins_.erase(pin);
+    auto ex = exports_.find(att.segid.value());
+    if (ex != exports_.end() && ex->second.attachments > 0) --ex->second.attachments;
+    co_return Result<void>{};
+  }
+
+  Message req;
+  req.cmd = Cmd::detach;
+  req.dst = EnclaveId{0};
+  req.segid = att.segid;
+  req.offset = att.owner_handle;
+  auto resp = co_await request_to_owner(std::move(req));
+  if (!resp.ok()) co_return resp.error();
+  co_return resp.value().status == Errc::ok ? Result<void>{}
+                                            : Result<void>{resp.value().status};
+}
+
+namespace {
+
+std::vector<std::pair<std::string, Segid>> decode_name_list(const Message& m) {
+  std::vector<std::pair<std::string, Segid>> out;
+  size_t pos = 0;
+  for (u64 sid : m.payload) {
+    const size_t next = m.name.find('\n', pos);
+    out.emplace_back(m.name.substr(pos, next - pos), Segid{sid});
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+sim::Task<Result<std::vector<std::pair<std::string, Segid>>>>
+XememKernel::xpmem_list() {
+  if (is_ns_) {
+    co_await os_.service_core()->run_irq(costs::kNameServerOp);
+    std::vector<std::pair<std::string, Segid>> out;
+    for (const auto& [name, sid] : ns_names_) out.emplace_back(name, sid);
+    co_return out;
+  }
+  Message req;
+  req.cmd = Cmd::name_list;
+  req.dst = EnclaveId{0};
+  auto resp = co_await request(std::move(req));
+  if (!resp.ok()) co_return resp.error();
+  if (resp.value().status != Errc::ok) co_return resp.value().status;
+  co_return decode_name_list(resp.value());
+}
+
+sim::Task<Result<Segid>> XememKernel::xpmem_search(const std::string& name) {
+  if (is_ns_) {
+    co_await os_.service_core()->run_irq(costs::kNameServerOp);
+    auto it = ns_names_.find(name);
+    if (it == ns_names_.end()) co_return Errc::no_such_segid;
+    co_return it->second;
+  }
+  Message req;
+  req.cmd = Cmd::name_lookup;
+  req.dst = EnclaveId{0};
+  req.name = name;
+  auto resp = co_await request(std::move(req));
+  if (!resp.ok()) co_return resp.error();
+  if (resp.value().status != Errc::ok) co_return resp.value().status;
+  co_return resp.value().segid;
+}
+
+}  // namespace xemem

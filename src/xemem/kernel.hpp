@@ -1,0 +1,219 @@
+// The XEMEM kernel module: one instance per enclave.
+//
+// Implements (paper section 4):
+//  * the XPMEM-compatible user API (Table 1) on top of the cross-enclave
+//    protocol, with a local fast path when exporter and attacher share an
+//    enclave;
+//  * the hierarchical routing protocol (section 3.2): name-server
+//    discovery by broadcast, enclave-ID allocation through the hierarchy,
+//    per-enclave routing tables learned from forwarded responses, and
+//    default routing toward the name server;
+//  * the name server itself (section 3.1) when this enclave hosts it:
+//    globally unique segids, segid -> owner-enclave records, and the
+//    well-known-name registry that provides discoverability;
+//  * export-side attachment servicing: page-table walk via the enclave
+//    personality, frame pinning, PFN-list responses (section 4.2).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/costs.hpp"
+#include "mm/pfn_list.hpp"
+#include "os/enclave.hpp"
+#include "xemem/api.hpp"
+#include "xemem/channel.hpp"
+#include "xemem/wire.hpp"
+
+namespace xemem {
+
+class XememKernel {
+ public:
+  /// @param is_name_server  exactly one kernel per system hosts the name
+  ///                        server (deployable in any enclave; section 3.2)
+  XememKernel(os::Enclave& os, bool is_name_server);
+
+  XememKernel(const XememKernel&) = delete;
+  XememKernel& operator=(const XememKernel&) = delete;
+
+  os::Enclave& os() { return os_; }
+  bool is_name_server() const { return is_ns_; }
+  EnclaveId id() const { return os_.id(); }
+
+  /// Register a channel to a neighboring enclave. Call before start().
+  void add_channel(ChannelEndpoint* ep);
+
+  /// Spawn the per-channel service loops and, for non-name-server
+  /// enclaves, begin name-server discovery. Must run inside a simulation.
+  void start();
+
+  /// Awaitable: completes when this enclave holds a valid enclave ID
+  /// (i.e. discovery + registration finished).
+  sim::Task<void> wait_registered();
+
+  /// Graceful shutdown for dynamic repartitioning (paper section 3.2:
+  /// partitions "are likely to be dynamic and will change in response to
+  /// the node's workload characteristics"). Withdraws every local export
+  /// from the name server and deregisters the enclave's routes. Fails with
+  /// Errc::busy while any local export has outstanding attachments; the
+  /// caller must quiesce its own traffic first.
+  sim::Task<Result<void>> shutdown();
+  bool is_shutdown() const { return stopped_; }
+
+  // --------------------------------------------------------- XPMEM API
+
+  /// Export [va, va+size) of @p owner under a fresh globally-unique segid.
+  /// @p name optionally publishes the segment for xpmem_search discovery;
+  /// @p max_access caps what grants may request (XPMEM permit model).
+  sim::Task<Result<Segid>> xpmem_make(os::Process& owner, Vaddr va, u64 size,
+                                      std::string name = "",
+                                      AccessMode max_access = AccessMode::read_write);
+
+  /// Withdraw an export. Fails with Errc::busy while attachments exist.
+  sim::Task<Result<void>> xpmem_remove(os::Process& owner, Segid segid);
+
+  /// Request permission to attach @p segid with @p want access. Fails with
+  /// permission_denied if the export's max access is weaker.
+  sim::Task<Result<XpmemGrant>> xpmem_get(Segid segid,
+                                          AccessMode want = AccessMode::read_write);
+
+  /// Drop a permission grant.
+  sim::Task<Result<void>> xpmem_release(const XpmemGrant& grant);
+
+  /// Map [offset, offset+size) of the granted segment into @p attacher.
+  sim::Task<Result<XpmemAttachment>> xpmem_attach(os::Process& attacher,
+                                                  const XpmemGrant& grant,
+                                                  u64 offset, u64 size);
+
+  /// Unmap an attachment and unpin the owner-side frames.
+  sim::Task<Result<void>> xpmem_detach(os::Process& attacher,
+                                       const XpmemAttachment& att);
+
+  /// Discoverability: resolve a published name to its segid via the name
+  /// server.
+  sim::Task<Result<Segid>> xpmem_search(const std::string& name);
+
+  /// Discoverability: enumerate every published (name, segid) pair known
+  /// to the name server (paper section 3.1: "the name server can be
+  /// queried for information regarding the existence and names of shared
+  /// memory regions").
+  sim::Task<Result<std::vector<std::pair<std::string, Segid>>>> xpmem_list();
+
+  // -------------------------------------------------------- diagnostics
+
+  /// Pinned frames currently held on behalf of remote/local attachers.
+  u64 pinned_frames() const;
+  /// Known enclave-id -> channel routes (learned from forwarded traffic).
+  u64 known_routes() const { return enclave_map_.size(); }
+  u64 exports_live() const { return exports_.size(); }
+
+  /// Default request timeout: generous against the microsecond-scale
+  /// protocol, but keeps callers from wedging on a dead enclave.
+  static constexpr sim::Duration kRequestTimeout = 10'000'000'000ull;  // 10 s
+  /// Discovery probes use a short timeout so one dead neighbor cannot
+  /// stall registration when another channel leads to the name server.
+  static constexpr sim::Duration kPingTimeout = 5'000'000ull;  // 5 ms
+
+  /// Introspection counters (the /proc/xemem-style view a real module
+  /// would expose). Monotonic over the kernel's lifetime.
+  struct Stats {
+    u64 makes{0};            ///< segments exported by local processes
+    u64 attaches_served{0};  ///< attach requests serviced as owner
+    u64 attaches_issued{0};  ///< attach requests issued as attacher
+    u64 pages_shared{0};     ///< pages pinned on behalf of attachers (gross)
+    u64 messages_forwarded{0};  ///< routed on behalf of other enclaves
+    u64 ns_requests{0};      ///< commands processed as name server
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ExportRecord {
+    os::Process* proc;
+    Vaddr va;
+    u64 pages;
+    std::string name;
+    AccessMode max_access{AccessMode::read_write};
+    u64 attachments{0};  // outstanding attach count (blocks remove)
+    u64 grants{0};
+  };
+
+  struct PinRecord {
+    Segid segid;
+    mm::PfnList frames;
+  };
+
+  // Name-server global state.
+  struct NsSegidRecord {
+    EnclaveId owner;
+    u64 size;
+    std::string name;
+  };
+
+  // ------------------------------------------------------------ plumbing
+
+  sim::Task<void> service_loop(ChannelEndpoint* ep);
+  sim::Task<void> handle(Message msg, ChannelEndpoint* from);
+  sim::Task<void> discovery();
+
+  /// Send a request and await its correlated response. @p via overrides
+  /// route selection (used by discovery probes). @p timeout bounds the
+  /// wait (0 = kRequestTimeout); expiry returns Errc::unreachable and a
+  /// late response is dropped as an orphan.
+  sim::Task<Result<Message>> request(Message msg);
+  sim::Task<Result<Message>> request(Message msg, ChannelEndpoint* via,
+                                     sim::Duration timeout = 0);
+  static sim::Task<void> timeout_actor(XememKernel* k, u64 rid, sim::Duration t);
+  /// Send an owner-side response toward its requester.
+  sim::Task<void> route_response(Message resp, ChannelEndpoint* from);
+  /// Forward @p msg toward msg.dst (or toward the name server).
+  sim::Task<void> forward(Message msg, ChannelEndpoint* from);
+  /// Request routed to the owner of msg.segid. On a normal enclave this
+  /// just addresses the name server; on the name-server enclave itself it
+  /// resolves the owner locally and routes directly.
+  sim::Task<Result<Message>> request_to_owner(Message msg);
+  ChannelEndpoint* route_for(EnclaveId dst);
+
+  u64 fresh_req_id() { return (id().value() << 32) | next_req_++; }
+
+  // Name-server command handling (only when is_ns_).
+  sim::Task<void> ns_handle(Message msg, ChannelEndpoint* from);
+
+  // Owner-side servicing of attach/detach/get for local exports.
+  sim::Task<Message> serve_get(const Message& msg);
+  sim::Task<Message> serve_attach(const Message& msg);
+  sim::Task<Message> serve_detach(const Message& msg);
+
+  void pin_frames(const mm::PfnList& frames);
+  void unpin_frames(const mm::PfnList& frames);
+
+  os::Enclave& os_;
+  bool is_ns_;
+  bool started_{false};
+  bool stopped_{false};
+  Stats stats_;
+
+  std::vector<ChannelEndpoint*> channels_;
+  ChannelEndpoint* ns_channel_{nullptr};  // next hop toward the name server
+  std::unordered_map<u64, ChannelEndpoint*> enclave_map_;  // id -> channel
+  std::unordered_map<u64, ChannelEndpoint*> pending_fwd_;  // req_id -> came-from
+  std::unordered_map<u64, sim::Mailbox<Message>*> pending_resp_;
+  sim::Event registered_;
+
+  // Local exports (this enclave's processes) keyed by segid.
+  std::unordered_map<u64, ExportRecord> exports_;
+  // Owner-side pins keyed by handle.
+  std::unordered_map<u64, PinRecord> pins_;
+  u64 next_handle_{1};
+  u32 next_req_{1};
+
+  // Name-server state.
+  u64 next_segid_{1};
+  u64 next_enclave_id_{1};  // 0 is the name server itself
+  std::unordered_map<u64, NsSegidRecord> ns_segids_;
+  std::unordered_map<std::string, Segid> ns_names_;
+};
+
+}  // namespace xemem

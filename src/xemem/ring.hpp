@@ -1,0 +1,189 @@
+// Shared-memory message rings over XEMEM attachments.
+//
+// The paper's in-situ components coordinate through raw stop/go variables
+// polled in shared memory, and section 6.1 flags richer event-notification
+// support as future work: "we plan to investigate techniques to support
+// additional features in the OS/R environments as requirements of actual
+// composed workflows become more evident". This header provides that
+// layer: a single-producer/single-consumer message ring living entirely
+// inside an exported region, so *any* pair of enclaves that can share
+// memory — native<->native, native<->VM, VM<->VM — gets ordered,
+// variable-length message passing with no kernel involvement beyond the
+// initial attachment.
+//
+// Layout inside the region:
+//   page 0:  header — tail (producer cursor) at +0, head (consumer
+//            cursor) at +8, both free-running u64 slot counters;
+//   page 1+: capacity_slots() fixed-size slots, each `u32 len` + payload.
+//
+// Both endpoints operate through their *own* virtual address for the
+// region (the producer's export VA, the consumer's attachment VA); all
+// accesses go through the real page tables and the machine's data plane,
+// so a ring across a VM boundary exercises the full GPA->HPA translation
+// on every message. The simulator is single-threaded, so the classic
+// SPSC ordering rules (write payload before publishing the cursor) are
+// modeled structurally rather than with fences.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "os/enclave.hpp"
+
+namespace xemem::shm {
+
+namespace detail {
+
+inline constexpr u64 kTailOff = 0;
+inline constexpr u64 kHeadOff = 8;
+/// Modeled CPU cost of one ring operation (cursor reads/update, slot
+/// bookkeeping) — a handful of cache-line accesses.
+inline constexpr u64 kRingOpCost = 120;  // ns
+
+/// Endpoint-side view of the ring (shared by producer and consumer).
+class RingView {
+ public:
+  RingView(os::Enclave& os, os::Process& proc, Vaddr base, u64 region_bytes,
+           u32 slot_bytes)
+      : os_(&os),
+        proc_(&proc),
+        base_(base),
+        slot_bytes_(slot_bytes),
+        slots_((region_bytes - kPageSize) / slot_bytes) {
+    XEMEM_ASSERT_MSG(region_bytes > 2 * kPageSize, "ring region too small");
+    XEMEM_ASSERT_MSG(slot_bytes > sizeof(u32), "slot too small for a length");
+    XEMEM_ASSERT_MSG(slots_ > 0, "no room for slots");
+  }
+
+  u64 capacity_slots() const { return slots_; }
+  u32 max_payload() const { return slot_bytes_ - sizeof(u32); }
+
+  u64 read_u64(u64 off) const {
+    u64 v = 0;
+    XEMEM_ASSERT(os_->proc_read(*proc_, base_ + off, &v, 8).ok());
+    return v;
+  }
+  Result<void> write_u64(u64 off, u64 v) {
+    return os_->proc_write(*proc_, base_ + off, &v, 8);
+  }
+
+  Vaddr slot_va(u64 index) const {
+    return base_ + kPageSize + (index % slots_) * slot_bytes_;
+  }
+
+  os::Enclave& os() { return *os_; }
+  os::Process& proc() { return *proc_; }
+
+ private:
+  os::Enclave* os_;
+  os::Process* proc_;
+  Vaddr base_;
+  u32 slot_bytes_;
+  u64 slots_;
+};
+
+}  // namespace detail
+
+/// Producer endpoint; constructed over the exporter's own region VA.
+class RingProducer {
+ public:
+  RingProducer(os::Enclave& os, os::Process& proc, Vaddr base, u64 region_bytes,
+               u32 slot_bytes)
+      : view_(os, proc, base, region_bytes, slot_bytes) {}
+
+  /// Zero the cursors. Call once, before the consumer attaches.
+  Result<void> init() {
+    auto a = view_.write_u64(detail::kTailOff, 0);
+    if (!a.ok()) return a;
+    return view_.write_u64(detail::kHeadOff, 0);
+  }
+
+  /// Non-blocking publish. Returns false when the ring is full.
+  sim::Task<Result<bool>> try_push(const void* msg, u32 len) {
+    if (len > view_.max_payload()) co_return Errc::invalid_argument;
+    hw::Core* core = view_.proc().core();
+    co_await core->compute(detail::kRingOpCost);
+    const u64 tail = view_.read_u64(detail::kTailOff);
+    const u64 head = view_.read_u64(detail::kHeadOff);
+    if (tail - head >= view_.capacity_slots()) co_return false;
+
+    // Write the slot (payload before the length publish), then the cursor.
+    const Vaddr slot = view_.slot_va(tail);
+    auto w1 = view_.os().proc_write(view_.proc(), slot + sizeof(u32), msg, len);
+    if (!w1.ok()) co_return w1.error();
+    auto w2 = view_.os().proc_write(view_.proc(), slot, &len, sizeof(u32));
+    if (!w2.ok()) co_return w2.error();
+    co_await view_.os().membw().transfer(len + 16);
+    auto w3 = view_.write_u64(detail::kTailOff, tail + 1);
+    if (!w3.ok()) co_return w3.error();
+    co_return true;
+  }
+
+  /// Blocking publish: polls the consumer cursor while the ring is full.
+  sim::Task<Result<void>> push(const void* msg, u32 len,
+                               sim::Duration poll = 20'000 /*20 us*/) {
+    for (;;) {
+      auto r = co_await try_push(msg, len);
+      if (!r.ok()) co_return r.error();
+      if (r.value()) co_return Result<void>{};
+      co_await sim::delay(poll);
+    }
+  }
+
+  u64 capacity_slots() const { return view_.capacity_slots(); }
+  u32 max_payload() const { return view_.max_payload(); }
+
+ private:
+  detail::RingView view_;
+};
+
+/// Consumer endpoint; constructed over the attacher's attachment VA.
+class RingConsumer {
+ public:
+  RingConsumer(os::Enclave& os, os::Process& proc, Vaddr base, u64 region_bytes,
+               u32 slot_bytes)
+      : view_(os, proc, base, region_bytes, slot_bytes) {}
+
+  /// Non-blocking receive; nullopt when the ring is empty.
+  sim::Task<Result<std::optional<std::vector<u8>>>> try_pop() {
+    hw::Core* core = view_.proc().core();
+    co_await core->compute(detail::kRingOpCost);
+    const u64 head = view_.read_u64(detail::kHeadOff);
+    const u64 tail = view_.read_u64(detail::kTailOff);
+    if (head == tail) co_return std::optional<std::vector<u8>>{};
+
+    const Vaddr slot = view_.slot_va(head);
+    u32 len = 0;
+    auto r1 = view_.os().proc_read(view_.proc(), slot, &len, sizeof(u32));
+    if (!r1.ok()) co_return r1.error();
+    if (len > view_.max_payload()) co_return Errc::protocol_error;
+    std::vector<u8> out(len);
+    auto r2 = view_.os().proc_read(view_.proc(), slot + sizeof(u32), out.data(), len);
+    if (!r2.ok()) co_return r2.error();
+    co_await view_.os().membw().transfer(len + 16);
+    auto r3 = view_.write_u64(detail::kHeadOff, head + 1);
+    if (!r3.ok()) co_return r3.error();
+    co_return std::optional<std::vector<u8>>{std::move(out)};
+  }
+
+  /// Blocking receive: polls the producer cursor while the ring is empty.
+  sim::Task<Result<std::vector<u8>>> pop(sim::Duration poll = 20'000 /*20 us*/) {
+    for (;;) {
+      auto r = co_await try_pop();
+      if (!r.ok()) co_return r.error();
+      if (r.value().has_value()) co_return std::move(*r.value());
+      co_await sim::delay(poll);
+    }
+  }
+
+  /// Messages currently queued (diagnostics).
+  u64 pending() const {
+    return view_.read_u64(detail::kTailOff) - view_.read_u64(detail::kHeadOff);
+  }
+
+ private:
+  mutable detail::RingView view_;
+};
+
+}  // namespace xemem::shm

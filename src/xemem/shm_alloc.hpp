@@ -1,0 +1,167 @@
+// A free-list allocator inside a shared region.
+//
+// Composed applications frequently want to place *objects* — mesh tiles,
+// message buffers, result records — inside an exported region rather than
+// manage raw offsets by hand. ShmAllocator manages the byte range of a
+// shared region with a first-fit free list whose metadata also lives in
+// the region, so any process mapping the region (from any enclave) sees a
+// consistent heap. Allocations return region *offsets*, which are mapping-
+// independent: each process adds its own base VA.
+//
+// Layout: a header block at offset 0 (magic, region size, free-list head),
+// then 16-byte-aligned blocks each with an 16-byte {size, next} header.
+// Free blocks are chained through the region itself.
+//
+// Concurrency: callers serialize externally (e.g. with shm::ShmLock placed
+// in the header's reserved word) — matching how real shared-heap libraries
+// over XPMEM delegate locking to the application.
+#pragma once
+
+#include <optional>
+
+#include "os/enclave.hpp"
+
+namespace xemem::shm {
+
+class ShmAllocator {
+ public:
+  static constexpr u64 kMagic = 0x58454d48454150ull;  // "XEMHEAP"
+  static constexpr u64 kAlign = 16;
+  static constexpr u64 kHeaderBytes = 64;  // magic, size, head, lock word, pad
+
+  /// View of the heap at @p base (a region VA) through @p proc's mapping.
+  ShmAllocator(os::Enclave& os, os::Process& proc, Vaddr base, u64 region_bytes)
+      : os_(&os), proc_(&proc), base_(base), bytes_(region_bytes) {}
+
+  /// Format the region as an empty heap (exactly one process, once).
+  Result<void> init() {
+    if (bytes_ < kHeaderBytes + kAlign + 16) return Errc::invalid_argument;
+    auto w = write_u64(0, kMagic);
+    if (!w.ok()) return w;
+    XEMEM_ASSERT(write_u64(8, bytes_).ok());
+    // One free block spanning the rest of the region.
+    const u64 first = kHeaderBytes;
+    XEMEM_ASSERT(write_u64(16, first).ok());  // free-list head
+    XEMEM_ASSERT(write_u64(24, 0).ok());      // lock word (for ShmLock)
+    XEMEM_ASSERT(write_u64(first, bytes_ - kHeaderBytes).ok());  // block size
+    XEMEM_ASSERT(write_u64(first + 8, 0).ok());                  // next = null
+    return {};
+  }
+
+  /// True if the region holds a formatted heap (attachers verify before use).
+  bool valid() const { return read_u64(0) == kMagic && read_u64(8) == bytes_; }
+
+  /// Offset of the lock word reserved for external serialization.
+  u64 lock_offset() const { return 24; }
+
+  /// Allocate @p n bytes; returns the region offset of the payload.
+  Result<u64> allocate(u64 n) {
+    if (!valid()) return Errc::protocol_error;
+    if (n == 0) return Errc::invalid_argument;
+    const u64 need = align_up(n) + 16;  // payload + block header
+
+    u64 prev_link = 16;  // region offset of the link pointing at `cur`
+    u64 cur = read_u64(prev_link);
+    while (cur != 0) {
+      const u64 size = read_u64(cur);
+      const u64 next = read_u64(cur + 8);
+      if (size >= need) {
+        const u64 rest = size - need;
+        if (rest >= kAlign + 16) {
+          // Split: the tail remains free.
+          const u64 tail = cur + need;
+          XEMEM_ASSERT(write_u64(tail, rest).ok());
+          XEMEM_ASSERT(write_u64(tail + 8, next).ok());
+          XEMEM_ASSERT(write_u64(prev_link, tail).ok());
+          XEMEM_ASSERT(write_u64(cur, need).ok());
+        } else {
+          XEMEM_ASSERT(write_u64(prev_link, next).ok());
+        }
+        XEMEM_ASSERT(write_u64(cur + 8, kMagic).ok());  // in-use tag
+        return cur + 16;
+      }
+      prev_link = cur + 8;
+      cur = next;
+    }
+    return Errc::out_of_memory;
+  }
+
+  /// Release a payload offset returned by allocate (first-fit reinsertion
+  /// with forward coalescing).
+  Result<void> deallocate(u64 payload_off) {
+    if (!valid()) return Errc::protocol_error;
+    const u64 block = payload_off - 16;
+    if (block < kHeaderBytes || block >= bytes_) return Errc::invalid_argument;
+    if (read_u64(block + 8) != kMagic) return Errc::invalid_argument;  // not live
+
+    // Insert into the address-ordered free list.
+    u64 prev_link = 16;
+    u64 cur = read_u64(prev_link);
+    while (cur != 0 && cur < block) {
+      prev_link = cur + 8;
+      cur = read_u64(cur + 8);
+    }
+    XEMEM_ASSERT(write_u64(block + 8, cur).ok());
+    XEMEM_ASSERT(write_u64(prev_link, block).ok());
+
+    // Coalesce with the successor, then let the predecessor absorb us.
+    coalesce(block);
+    if (prev_link != 16) {
+      const u64 prev_block = prev_link - 8;
+      coalesce(prev_block);
+    }
+    return {};
+  }
+
+  /// Total free payload bytes (diagnostics / leak tests).
+  u64 free_bytes() const {
+    u64 total = 0;
+    u64 cur = read_u64(16);
+    while (cur != 0) {
+      total += read_u64(cur) - 16;
+      cur = read_u64(cur + 8);
+    }
+    return total;
+  }
+
+  /// Convenience typed access through this process's mapping.
+  template <typename T>
+  Result<void> write_object(u64 payload_off, const T& value) {
+    return os_->proc_write(*proc_, base_ + payload_off, &value, sizeof(T));
+  }
+  template <typename T>
+  Result<T> read_object(u64 payload_off) const {
+    T out{};
+    auto r = os_->proc_read(*proc_, base_ + payload_off, &out, sizeof(T));
+    if (!r.ok()) return r.error();
+    return out;
+  }
+
+ private:
+  static u64 align_up(u64 n) { return (n + kAlign - 1) / kAlign * kAlign; }
+
+  void coalesce(u64 block) {
+    const u64 size = read_u64(block);
+    const u64 next = read_u64(block + 8);
+    if (next != 0 && block + size == next) {
+      XEMEM_ASSERT(write_u64(block, size + read_u64(next)).ok());
+      XEMEM_ASSERT(write_u64(block + 8, read_u64(next + 8)).ok());
+    }
+  }
+
+  u64 read_u64(u64 off) const {
+    u64 v = 0;
+    XEMEM_ASSERT(os_->proc_read(*proc_, base_ + off, &v, 8).ok());
+    return v;
+  }
+  Result<void> write_u64(u64 off, u64 v) {
+    return os_->proc_write(*proc_, base_ + off, &v, 8);
+  }
+
+  os::Enclave* os_;
+  os::Process* proc_;
+  Vaddr base_;
+  u64 bytes_;
+};
+
+}  // namespace xemem::shm

@@ -1,0 +1,144 @@
+// Synchronization primitives over XEMEM shared memory.
+//
+// Composed applications coordinate through shared memory only (paper
+// section 6.1: "the underlying enclave OS/Rs only support application
+// communication through shared memory, and thus operations like event
+// notifications must be supported via ad hoc techniques like polling on
+// variables in memory"). These are the ad hoc techniques, packaged:
+//
+//  * ShmFlag     — a one-shot event (the paper's stop/go signal variable);
+//  * ShmLock     — a test-and-set spinlock word (polling backoff);
+//  * ShmBarrier  — a sense-reversing barrier for a fixed party count;
+//  * ShmCounter  — a monotonically published progress counter.
+//
+// Each primitive lives at a caller-chosen offset inside a shared region
+// and is manipulated through a process's own mapping of that region, so
+// the same object works between any enclave pair that can share memory.
+// The simulator executes one coroutine at a time, so read-modify-write
+// sequences are structurally atomic; on real hardware these would be
+// LOCK-prefixed operations.
+#pragma once
+
+#include "os/enclave.hpp"
+
+namespace xemem::shm {
+
+/// Handle to one u64 word of shared memory, accessed through a specific
+/// process's mapping.
+class ShmWord {
+ public:
+  ShmWord(os::Enclave& os, os::Process& proc, Vaddr va)
+      : os_(&os), proc_(&proc), va_(va) {}
+
+  u64 load() const {
+    u64 v = 0;
+    XEMEM_ASSERT(os_->proc_read(*proc_, va_, &v, 8).ok());
+    return v;
+  }
+  void store(u64 v) { XEMEM_ASSERT(os_->proc_write(*proc_, va_, &v, 8).ok()); }
+
+  /// Structurally-atomic compare-and-swap (single-threaded simulator).
+  bool cas(u64 expect, u64 desired) {
+    if (load() != expect) return false;
+    store(desired);
+    return true;
+  }
+  u64 fetch_add(u64 delta) {
+    const u64 v = load();
+    store(v + delta);
+    return v;
+  }
+
+ private:
+  os::Enclave* os_;
+  os::Process* proc_;
+  Vaddr va_;
+};
+
+/// One-shot flag: the paper's stop/go signal variable, with polling wait.
+class ShmFlag {
+ public:
+  ShmFlag(os::Enclave& os, os::Process& proc, Vaddr va) : word_(os, proc, va) {}
+
+  void raise() { word_.store(1); }
+  bool is_raised() const { return word_.load() != 0; }
+  void clear() { word_.store(0); }
+
+  sim::Task<void> wait(sim::Duration poll = 20'000) {
+    while (!is_raised()) co_await sim::delay(poll);
+  }
+
+ private:
+  ShmWord word_;
+};
+
+/// Test-and-set spinlock word with polling backoff.
+class ShmLock {
+ public:
+  ShmLock(os::Enclave& os, os::Process& proc, Vaddr va) : word_(os, proc, va) {}
+
+  sim::Task<void> lock(sim::Duration poll = 5'000) {
+    while (!word_.cas(0, 1)) co_await sim::delay(poll);
+  }
+  void unlock() {
+    XEMEM_ASSERT_MSG(word_.load() == 1, "unlock of a free ShmLock");
+    word_.store(0);
+  }
+  bool try_lock() { return word_.cas(0, 1); }
+
+ private:
+  ShmWord word_;
+};
+
+/// Sense-reversing barrier for @p parties processes. Layout: two u64 words
+/// (arrival count at +0, sense at +8). Each participant keeps its own
+/// local sense across episodes, so the barrier is immediately reusable.
+class ShmBarrier {
+ public:
+  static constexpr u64 kFootprint = 16;
+
+  ShmBarrier(os::Enclave& os, os::Process& proc, Vaddr base, u64 parties)
+      : count_(os, proc, base), sense_(os, proc, base + 8), parties_(parties) {}
+
+  /// Initialize the shared words (exactly one participant, once).
+  void init() {
+    count_.store(0);
+    sense_.store(0);
+  }
+
+  sim::Task<void> arrive_and_wait(sim::Duration poll = 10'000) {
+    const u64 my_sense = 1 - local_sense_;
+    if (count_.fetch_add(1) + 1 == parties_) {
+      count_.store(0);
+      sense_.store(my_sense);  // release everyone
+    } else {
+      while (sense_.load() != my_sense) co_await sim::delay(poll);
+    }
+    local_sense_ = my_sense;
+  }
+
+ private:
+  ShmWord count_;
+  ShmWord sense_;
+  u64 parties_;
+  u64 local_sense_{0};
+};
+
+/// Monotonic progress counter (the in-situ coupler's go/done counters).
+class ShmCounter {
+ public:
+  ShmCounter(os::Enclave& os, os::Process& proc, Vaddr va) : word_(os, proc, va) {}
+
+  void publish(u64 v) { word_.store(v); }
+  u64 read() const { return word_.load(); }
+  u64 increment() { return word_.fetch_add(1) + 1; }
+
+  sim::Task<void> wait_at_least(u64 target, sim::Duration poll = 20'000) {
+    while (word_.load() < target) co_await sim::delay(poll);
+  }
+
+ private:
+  ShmWord word_;
+};
+
+}  // namespace xemem::shm

@@ -1,0 +1,123 @@
+// XEMEM cross-enclave wire protocol.
+//
+// Kernel-level messages exchanged between enclave OSes (paper sections
+// 3.2, 4.2, 4.5). Messages either carry one of the XPMEM commands
+// (Table 1), the routing-protocol control traffic (name-server discovery
+// and enclave-ID allocation), or the name-space discoverability queries.
+//
+// Every message is routed by (src, dst) enclave IDs through the
+// hierarchical topology; responses correlate to requests via req_id.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace xemem {
+
+enum class Cmd : u8 {
+  // Routing protocol (section 3.2).
+  ping_ns,           ///< broadcast: "do you know a path to the name server?"
+  ping_ns_resp,      ///< "yes, through me"
+  alloc_enclave_id,  ///< request a unique enclave ID from the name server
+  enclave_id_resp,
+
+  // Name space (sections 3.1, 4.2).
+  segid_alloc,       ///< request a fresh segid (owner registers a region)
+  segid_alloc_resp,
+  segid_remove,      ///< owner withdraws a segid
+  segid_remove_resp,
+  name_lookup,       ///< discoverability: resolve a well-known name -> segid
+  name_lookup_resp,
+  name_list,         ///< discoverability: enumerate all published names
+  name_list_resp,    ///< '\n'-joined names + parallel segid payload
+
+  // Dynamic partitioning (section 3.2): an enclave leaving the system
+  // tells the name server to retire its routes and any segids it owned.
+  enclave_shutdown,
+
+  // XPMEM commands (Table 1) that cross enclaves.
+  get,          ///< request access permission for a segid
+  get_resp,     ///< grant (carries region size) or denial
+  release,      ///< drop a permission grant
+  attach,       ///< request the PFN list for (segid, offset, size)
+  attach_resp,  ///< PFN list payload
+  detach,       ///< drop an attachment (owner unpins)
+  detach_resp,
+};
+
+const char* cmd_name(Cmd c);
+
+/// A kernel-level cross-enclave message.
+struct Message {
+  Cmd cmd{};
+  EnclaveId src{EnclaveId::invalid()};
+  EnclaveId dst{EnclaveId::invalid()};
+  u64 req_id{0};
+
+  Segid segid{};
+  u64 offset{0};
+  u64 size{0};
+  u8 access{1};  ///< requested/granted AccessMode (0 = read-only, 1 = rw)
+  Errc status{Errc::ok};
+
+  /// PFN list (attach_resp) or other bulk payload, as raw u64s.
+  std::vector<u64> payload;
+  /// Well-known name for publish/lookup.
+  std::string name;
+
+  /// Fixed header size on a channel (command, ids, req ids, status, sizes).
+  static constexpr u64 kHeaderBytes = 64;
+
+  /// Bytes this message occupies on a channel.
+  u64 wire_bytes() const {
+    return kHeaderBytes + payload.size() * sizeof(u64) + name.size();
+  }
+
+  bool is_response() const {
+    switch (cmd) {
+      case Cmd::ping_ns_resp:
+      case Cmd::enclave_id_resp:
+      case Cmd::segid_alloc_resp:
+      case Cmd::segid_remove_resp:
+      case Cmd::name_lookup_resp:
+      case Cmd::name_list_resp:
+      case Cmd::get_resp:
+      case Cmd::attach_resp:
+      case Cmd::detach_resp:
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+inline const char* cmd_name(Cmd c) {
+  switch (c) {
+    case Cmd::ping_ns: return "ping_ns";
+    case Cmd::ping_ns_resp: return "ping_ns_resp";
+    case Cmd::alloc_enclave_id: return "alloc_enclave_id";
+    case Cmd::enclave_shutdown: return "enclave_shutdown";
+    case Cmd::enclave_id_resp: return "enclave_id_resp";
+    case Cmd::segid_alloc: return "segid_alloc";
+    case Cmd::segid_alloc_resp: return "segid_alloc_resp";
+    case Cmd::segid_remove: return "segid_remove";
+    case Cmd::segid_remove_resp: return "segid_remove_resp";
+    case Cmd::name_lookup: return "name_lookup";
+    case Cmd::name_lookup_resp: return "name_lookup_resp";
+    case Cmd::name_list: return "name_list";
+    case Cmd::name_list_resp: return "name_list_resp";
+    case Cmd::get: return "get";
+    case Cmd::get_resp: return "get_resp";
+    case Cmd::release: return "release";
+    case Cmd::attach: return "attach";
+    case Cmd::attach_resp: return "attach_resp";
+    case Cmd::detach: return "detach";
+    case Cmd::detach_resp: return "detach_resp";
+  }
+  return "?";
+}
+
+}  // namespace xemem

@@ -1,0 +1,185 @@
+// Tests for the common utilities: strong types, units, Result, RNG
+// distributions, and the statistics helpers the harnesses rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace xemem {
+namespace {
+
+// ------------------------------------------------------------------- types
+
+TEST(Types, PageArithmetic) {
+  EXPECT_EQ(page_align_down(4097), 4096u);
+  EXPECT_EQ(page_align_up(4097), 8192u);
+  EXPECT_EQ(page_align_up(4096), 4096u);
+  EXPECT_EQ(pages_for(1), 1u);
+  EXPECT_EQ(pages_for(4096), 1u);
+  EXPECT_EQ(pages_for(4097), 2u);
+  EXPECT_EQ(pages_for(1_GiB), 262144u);
+}
+
+TEST(Types, StrongTypesPreserveKind) {
+  Pfn p{10};
+  Pfn q = p + 5;
+  static_assert(std::is_same_v<decltype(q), Pfn>);
+  EXPECT_EQ(q.value(), 15u);
+  EXPECT_EQ(q - p, 5u);
+  EXPECT_EQ(Pfn::of(HostPaddr{3 * kPageSize + 17}), Pfn{3});
+  EXPECT_EQ(Pfn{3}.paddr().value(), 3 * kPageSize);
+}
+
+TEST(Types, EnclaveIdValidity) {
+  EXPECT_FALSE(EnclaveId::invalid().valid());
+  EXPECT_TRUE(EnclaveId{0}.valid());
+  EXPECT_FALSE(Segid{}.valid());
+  EXPECT_TRUE(Segid{1}.valid());
+}
+
+// ------------------------------------------------------------------- units
+
+TEST(Units, LiteralsAndConversions) {
+  EXPECT_EQ(2_KiB, 2048u);
+  EXPECT_EQ(1_GiB, 1073741824u);
+  EXPECT_EQ(3_us, 3000u);
+  EXPECT_EQ(2_s, 2000000000u);
+  EXPECT_DOUBLE_EQ(ns_to_s(1500000000ull), 1.5);
+  EXPECT_DOUBLE_EQ(gb_per_s(13'000'000'000ull, 1_s), 13.0);
+  EXPECT_DOUBLE_EQ(gb_per_s(100, 0), 0.0);
+}
+
+// ------------------------------------------------------------------ Result
+
+TEST(Status, ResultValueAndError) {
+  Result<int> ok = 5;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_EQ(ok.error(), Errc::ok);
+  EXPECT_EQ(ok.value_or(9), 5);
+
+  Result<int> bad = Errc::no_such_segid;
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errc::no_such_segid);
+  EXPECT_EQ(bad.value_or(9), 9);
+
+  Result<void> v;
+  EXPECT_TRUE(v.ok());
+  Result<void> e = Errc::busy;
+  EXPECT_FALSE(e.ok());
+  EXPECT_STREQ(errc_name(e.error()), "busy");
+}
+
+TEST(Status, ValueOnErrorAborts) {
+  Result<int> bad = Errc::unreachable;
+  EXPECT_DEATH((void)bad.value(), "Result::value");
+}
+
+// --------------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    const u64 k = rng.uniform_u64(17);
+    ASSERT_LT(k, 17u);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 3.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(rng.lognormal(std::log(60.0), 1.0));
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], 60.0, 2.5) << "median of lognormal is exp(mu)";
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButReproducible) {
+  Rng parent1(9), parent2(9);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  EXPECT_EQ(child1.next(), child2.next());
+  Rng sibling = parent1.fork();
+  EXPECT_NE(child1.next(), sibling.next());
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, RunningStatsSingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, SamplesPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(95), 95.05, 0.1);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Stats, LogHistogramBucketsByDecade) {
+  LogHistogram h(1.0, 1e6, /*buckets_per_decade=*/1);
+  h.add(5);       // decade [1,10)
+  h.add(50);      // [10,100)
+  h.add(50000);   // [1e4,1e5)
+  h.add(1e9);     // clamped to the top bucket
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(1), 1u);
+  EXPECT_EQ(h.count_at(4), 1u);
+  EXPECT_EQ(h.count_at(h.buckets() - 1), 1u);
+  EXPECT_DOUBLE_EQ(h.edge(2), 100.0);
+}
+
+}  // namespace
+}  // namespace xemem

@@ -1,0 +1,107 @@
+// Tests for dynamic enclave partitioning (paper section 3.2): graceful
+// enclave shutdown, name-server cleanup, resource return, and rebooting a
+// fresh co-kernel on the reclaimed cores and memory.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "xemem/system.hpp"
+
+#define CO_ASSERT_TRUE(x)                            \
+  do {                                               \
+    if (!(x)) {                                      \
+      ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #x; \
+      co_return;                                     \
+    }                                                \
+  } while (0)
+
+namespace xemem {
+namespace {
+
+TEST(Dynamic, ShutdownWithdrawsExportsAndNames) {
+  sim::Engine eng(61);
+  Node node(hw::Machine::r420());
+  auto& mgmt = node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto& ck = node.add_cokernel("ck", 0, {6, 7}, 256_MiB);
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    os::Process* p = node.enclave("ck").create_process(4_MiB).value();
+    auto sid = co_await ck.xpmem_make(*p, p->image_base(), 1_MiB, "ephemeral");
+    CO_ASSERT_TRUE(sid.ok());
+    CO_ASSERT_TRUE((co_await mgmt.xpmem_search("ephemeral")).ok());
+
+    auto r = co_await ck.shutdown();
+    CO_ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(ck.is_shutdown());
+    EXPECT_EQ(ck.exports_live(), 0u);
+
+    // The name and the segid are gone from the global name space.
+    EXPECT_EQ((co_await mgmt.xpmem_search("ephemeral")).error(),
+              Errc::no_such_segid);
+    EXPECT_EQ((co_await mgmt.xpmem_get(sid.value())).error(), Errc::no_such_segid);
+  };
+  eng.run(main());
+}
+
+TEST(Dynamic, ShutdownBlocksWhileAttachmentsOutstanding) {
+  sim::Engine eng(62);
+  Node node(hw::Machine::r420());
+  auto& mgmt = node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto& ck = node.add_cokernel("ck", 0, {6, 7}, 256_MiB);
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    os::Process* owner = node.enclave("ck").create_process(4_MiB).value();
+    os::Process* user = node.enclave("linux").create_process(1_MiB).value();
+    auto sid = co_await ck.xpmem_make(*owner, owner->image_base(), 1_MiB);
+    auto grant = co_await mgmt.xpmem_get(sid.value());
+    auto att = co_await mgmt.xpmem_attach(*user, grant.value(), 0, 1_MiB);
+    CO_ASSERT_TRUE(att.ok());
+
+    EXPECT_EQ((co_await ck.shutdown()).error(), Errc::busy);
+    EXPECT_FALSE(ck.is_shutdown());
+
+    CO_ASSERT_TRUE((co_await mgmt.xpmem_detach(*user, att.value())).ok());
+    CO_ASSERT_TRUE((co_await ck.shutdown()).ok());
+  };
+  eng.run(main());
+}
+
+TEST(Dynamic, RemoveAndRebootCokernelReusesResources) {
+  sim::Engine eng(63);
+  Node node(hw::Machine::r420());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  const u64 zone_free_before = node.machine().zone(0).free_frames();
+  auto& first = node.add_cokernel("gen1", 0, {6, 7}, 512_MiB);
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    // Use the first-generation enclave, then repartition.
+    os::Process* p = node.enclave("gen1").create_process(16_MiB).value();
+    auto sid = co_await first.xpmem_make(*p, p->image_base(), 1_MiB);
+    CO_ASSERT_TRUE(sid.ok());
+    CO_ASSERT_TRUE((co_await node.kernel("gen1").xpmem_remove(*p, sid.value())).ok());
+    node.enclave("gen1").destroy_process(p);
+    CO_ASSERT_TRUE((co_await first.shutdown()).ok());
+    node.remove_cokernel("gen1");
+    EXPECT_EQ(node.machine().zone(0).free_frames(), zone_free_before)
+        << "the carved memory block returned to the socket zone";
+    EXPECT_EQ(node.pisces().cokernel_count(), 0u);
+
+    // Boot a second generation on the same cores and memory.
+    auto& second = node.add_cokernel("gen2", 0, {6, 7}, 512_MiB);
+    second.start();
+    co_await second.wait_registered();
+    EXPECT_TRUE(second.id().valid());
+    EXPECT_NE(second.id(), EnclaveId{1}) << "enclave ids are never recycled";
+
+    // The new enclave is fully functional.
+    os::Process* q = node.enclave("gen2").create_process(4_MiB).value();
+    auto sid2 = co_await second.xpmem_make(*q, q->image_base(), 1_MiB, "gen2-data");
+    CO_ASSERT_TRUE(sid2.ok());
+    auto found = co_await node.kernel("linux").xpmem_search("gen2-data");
+    CO_ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), sid2.value());
+  };
+  eng.run(main());
+}
+
+}  // namespace
+}  // namespace xemem

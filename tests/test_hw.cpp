@@ -1,0 +1,345 @@
+// Unit and property tests for the hardware substrate: frame zones
+// (alloc/free/refcount invariants), the physical data plane, core IRQ
+// stealing, IPI delivery, and the noise models.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.hpp"
+#include "hw/core.hpp"
+#include "hw/ipi.hpp"
+#include "hw/machine.hpp"
+#include "hw/noise.hpp"
+#include "hw/phys_mem.hpp"
+#include "sim/engine.hpp"
+
+namespace xemem::hw {
+namespace {
+
+// ---------------------------------------------------------------- FrameZone
+
+TEST(FrameZone, ContiguousAllocationIsOneExtent) {
+  FrameZone z(Pfn{0}, 1024);
+  auto r = z.alloc(100, AllocPolicy::contiguous);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].count, 100u);
+  EXPECT_EQ(z.free_frames(), 924u);
+}
+
+TEST(FrameZone, ScatteredAllocationFragmentsAcrossPool) {
+  FrameZone z(Pfn{0}, 4096);
+  // Fragment the pool first.
+  auto a = z.alloc(64, AllocPolicy::scattered).value();
+  auto b = z.alloc(512, AllocPolicy::scattered).value();
+  EXPECT_GT(b.size(), 1u) << "scattered allocation should not be one extent";
+  u64 total = 0;
+  for (auto e : b) total += e.count;
+  EXPECT_EQ(total, 512u);
+  for (auto e : a) z.free(e);
+  for (auto e : b) z.free(e);
+  EXPECT_EQ(z.free_frames(), 4096u);
+}
+
+TEST(FrameZone, ExhaustionReturnsOutOfMemory) {
+  FrameZone z(Pfn{0}, 16);
+  auto r1 = z.alloc(16, AllocPolicy::contiguous);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = z.alloc(1, AllocPolicy::contiguous);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.error(), Errc::out_of_memory);
+}
+
+TEST(FrameZone, FreeCoalescesAdjacentExtents) {
+  FrameZone z(Pfn{0}, 256);
+  auto a = z.alloc(64, AllocPolicy::contiguous).value()[0];
+  auto b = z.alloc(64, AllocPolicy::contiguous).value()[0];
+  auto c = z.alloc(64, AllocPolicy::contiguous).value()[0];
+  z.free(a);
+  z.free(c);
+  z.free(b);  // middle free must stitch all three back together
+  // If coalescing worked, a full-size contiguous allocation succeeds.
+  auto big = z.alloc(256, AllocPolicy::contiguous);
+  EXPECT_TRUE(big.ok());
+}
+
+TEST(FrameZone, RefcountsBlockFree) {
+  FrameZone z(Pfn{0}, 64);
+  auto ext = z.alloc(4, AllocPolicy::contiguous).value()[0];
+  z.ref(ext.start);
+  EXPECT_EQ(z.refcount(ext.start), 1u);
+  EXPECT_DEATH(z.free(ext), "still-referenced");
+  z.unref(ext.start);
+  z.free(ext);
+  EXPECT_EQ(z.free_frames(), 64u);
+}
+
+TEST(FrameZone, DoubleFreeIsFatal) {
+  FrameZone z(Pfn{0}, 64);
+  auto ext = z.alloc(4, AllocPolicy::contiguous).value()[0];
+  z.free(ext);
+  EXPECT_DEATH(z.free(ext), "double free");
+}
+
+TEST(FrameZone, IsAllocatedTracksState) {
+  FrameZone z(Pfn{10}, 32);
+  EXPECT_FALSE(z.is_allocated(Pfn{12}));
+  auto ext = z.alloc(8, AllocPolicy::contiguous).value()[0];
+  EXPECT_TRUE(z.is_allocated(ext.start));
+  EXPECT_TRUE(z.is_allocated(ext.start + 7));
+  z.free(ext);
+  EXPECT_FALSE(z.is_allocated(ext.start));
+}
+
+// Property: random alloc/free sequences never hand out the same frame
+// twice and always restore the zone exactly.
+TEST(FrameZoneProperty, RandomAllocFreeNeverDoublesAllocates) {
+  Rng rng(7);
+  FrameZone z(Pfn{0}, 2048);
+  std::vector<std::vector<FrameExtent>> live;
+  std::set<u64> owned;
+  for (int step = 0; step < 400; ++step) {
+    if (live.empty() || rng.uniform() < 0.6) {
+      const u64 want = 1 + rng.uniform_u64(64);
+      auto pol = rng.uniform() < 0.5 ? AllocPolicy::contiguous : AllocPolicy::scattered;
+      auto r = z.alloc(want, pol);
+      if (!r.ok()) continue;
+      for (auto e : r.value()) {
+        for (u64 i = 0; i < e.count; ++i) {
+          auto [it, fresh] = owned.insert(e.start.value() + i);
+          ASSERT_TRUE(fresh) << "frame handed out twice";
+        }
+      }
+      live.push_back(std::move(r).value());
+    } else {
+      const u64 idx = rng.uniform_u64(live.size());
+      for (auto e : live[idx]) {
+        for (u64 i = 0; i < e.count; ++i) owned.erase(e.start.value() + i);
+        z.free(e);
+      }
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+  }
+  for (auto& v : live) {
+    for (auto e : v) z.free(e);
+  }
+  EXPECT_EQ(z.free_frames(), 2048u);
+  EXPECT_EQ(z.total_refs(), 0u);
+}
+
+// ----------------------------------------------------------- PhysicalMemory
+
+TEST(PhysicalMemory, ZonesAreDisjoint) {
+  PhysicalMemory pm;
+  pm.add_zone(16ull << 20);
+  pm.add_zone(16ull << 20);
+  auto a = pm.zone(0).alloc(4, AllocPolicy::contiguous).value()[0];
+  auto b = pm.zone(1).alloc(4, AllocPolicy::contiguous).value()[0];
+  EXPECT_GE(b.start.value(), pm.zone(0).base().value() + pm.zone(0).total_frames());
+  EXPECT_TRUE(pm.zone(0).owns(a.start));
+  EXPECT_FALSE(pm.zone(0).owns(b.start));
+  EXPECT_EQ(&pm.zone_of(b.start), &pm.zone(1));
+}
+
+TEST(PhysicalMemory, DataPlaneRoundTripsAcrossFrames) {
+  PhysicalMemory pm;
+  pm.add_zone(1ull << 20);
+  std::vector<u8> src(3 * kPageSize);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<u8>(i * 7);
+  // Unaligned write spanning three frames.
+  HostPaddr pa{kPageSize / 2};
+  pm.write(pa, src.data(), src.size());
+  std::vector<u8> dst(src.size());
+  pm.read(pa, dst.data(), dst.size());
+  EXPECT_EQ(src, dst);
+}
+
+TEST(PhysicalMemory, BackingIsLazy) {
+  PhysicalMemory pm;
+  pm.add_zone(1ull << 30);
+  EXPECT_EQ(pm.backed_frames(), 0u);
+  pm.frame_data(Pfn{100});
+  EXPECT_EQ(pm.backed_frames(), 1u);
+}
+
+TEST(PhysicalMemory, FreshFramesReadAsZero) {
+  PhysicalMemory pm;
+  pm.add_zone(1ull << 20);
+  u64 v = 123;
+  pm.read(HostPaddr{40960}, &v, sizeof(v));
+  EXPECT_EQ(v, 0u);
+}
+
+// ------------------------------------------------------------------- Core
+
+TEST(Core, IrqStealsFromCompute) {
+  sim::Engine eng;
+  Core core(0, 0);
+  auto app = [&]() -> sim::Task<u64> {
+    co_await core.compute(100_us);
+    co_return sim::now();
+  };
+  auto intr = [&]() -> sim::Task<void> {
+    co_await sim::delay(50_us);
+    co_await core.run_irq(10_us);
+  };
+  eng.spawn(intr());
+  auto done = eng.run(app());
+  // 100us of compute + 10us stolen by the interrupt.
+  EXPECT_EQ(done, 110_us);
+  EXPECT_EQ(core.stolen_ns(), 10_us);
+  EXPECT_EQ(core.irq_events(), 1u);
+}
+
+TEST(Core, IrqHandlersSerializePerCore) {
+  sim::Engine eng;
+  Core core(0, 0);
+  std::vector<u64> ends;
+  auto handler = [&]() -> sim::Task<void> {
+    co_await core.run_irq(10_us);
+    ends.push_back(sim::now());
+  };
+  eng.spawn(handler());
+  eng.spawn(handler());
+  eng.spawn(handler());
+  eng.run_until_idle();
+  EXPECT_EQ(ends, (std::vector<u64>{10_us, 20_us, 30_us}));
+}
+
+TEST(Core, ComputeUnaffectedOnQuietCore) {
+  sim::Engine eng;
+  Core core(3, 1);
+  auto app = [&]() -> sim::Task<u64> {
+    co_await core.compute(1_ms);
+    co_return sim::now();
+  };
+  EXPECT_EQ(eng.run(app()), 1_ms);
+}
+
+TEST(Core, BackToBackIrqsAllStolen) {
+  sim::Engine eng;
+  Core core(0, 0);
+  auto app = [&]() -> sim::Task<u64> {
+    co_await core.compute(50_us);
+    co_return sim::now();
+  };
+  auto storm = [&]() -> sim::Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await sim::delay(5_us);
+      co_await core.run_irq(5_us);
+    }
+  };
+  eng.spawn(storm());
+  auto done = eng.run(app());
+  // 50us work + 25us stolen (5 x 5us), with handler queueing accounted.
+  EXPECT_EQ(done, 75_us);
+}
+
+// -------------------------------------------------------------------- IPI
+
+TEST(Ipi, DeliversToRegisteredHandler) {
+  sim::Engine eng;
+  Core core(0, 0);
+  IpiController ipi;
+  int fired = 0;
+  u64 fire_time = 0;
+  ipi.register_handler(&core, 0xf0, 2_us, [&] {
+    ++fired;
+    fire_time = sim::now();
+  });
+  auto sender = [&]() -> sim::Task<void> {
+    co_await sim::delay(10_us);
+    ipi.post(0, 0xf0);
+  };
+  eng.spawn(sender());
+  eng.run_until_idle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(fire_time, 12_us);  // 10us send + 2us handler cost
+  EXPECT_EQ(core.stolen_ns(), 2_us);
+}
+
+TEST(Ipi, ConcurrentIpisToOneCoreSerialize) {
+  sim::Engine eng;
+  Core core0(0, 0);
+  IpiController ipi;
+  std::vector<u64> times;
+  ipi.register_handler(&core0, 0xf0, 3_us, [&] { times.push_back(sim::now()); });
+  auto sender = [&]() -> sim::Task<void> {
+    ipi.post(0, 0xf0);
+    ipi.post(0, 0xf0);
+    ipi.post(0, 0xf0);
+    co_return;
+  };
+  eng.spawn(sender());
+  eng.run_until_idle();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], 3_us);
+  EXPECT_EQ(times[1], 6_us);
+  EXPECT_EQ(times[2], 9_us);
+}
+
+TEST(Ipi, UnregisteredVectorIsFatal) {
+  sim::Engine eng;
+  IpiController ipi;
+  auto t = [&]() -> sim::Task<void> {
+    ipi.post(0, 0x99);
+    co_return;
+  };
+  EXPECT_DEATH(eng.run(t()), "unregistered");
+}
+
+// ------------------------------------------------------------------ Noise
+
+TEST(Noise, KittenUtilizationIsTiny) {
+  sim::Engine eng(42);
+  Machine m(Machine::r420());
+  Rng rng(1);
+  spawn_noise(eng, m.core(0), kitten_noise(), rng, 10_s);
+  eng.run_until(10_s);
+  const double util = static_cast<double>(m.core(0).stolen_ns()) / 10e9;
+  EXPECT_LT(util, 0.01) << "Kitten noise should be well under 1%";
+  EXPECT_GT(m.core(0).irq_events(), 1000u) << "the 12us band should be dense";
+}
+
+TEST(Noise, LinuxStealsMoreThanKitten) {
+  sim::Engine eng(42);
+  Machine m(Machine::r420());
+  Rng rng(1);
+  spawn_noise(eng, m.core(0), kitten_noise(), rng, 20_s);
+  spawn_noise(eng, m.core(1), linux_noise(), rng, 20_s);
+  eng.run_until(20_s);
+  EXPECT_GT(m.core(1).stolen_ns(), 3 * m.core(0).stolen_ns());
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+  auto run_once = [] {
+    sim::Engine eng(7);
+    Machine m(Machine::optiplex());
+    Rng rng(9);
+    spawn_noise(eng, m.core(0), linux_noise(), rng, 5_s);
+    eng.run_until(5_s);
+    return m.core(0).stolen_ns();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------- Machine
+
+TEST(Machine, R420MatchesPaperTopology) {
+  Machine m(Machine::r420());
+  EXPECT_EQ(m.core_count(), 24u);
+  EXPECT_EQ(m.socket_count(), 2u);
+  EXPECT_EQ(m.zone(0).total_frames() * kPageSize, 16ull << 30);
+  EXPECT_EQ(m.core(0).socket(), 0u);
+  EXPECT_EQ(m.core(12).socket(), 1u);
+}
+
+TEST(Machine, OptiplexMatchesPaperTopology) {
+  Machine m(Machine::optiplex());
+  EXPECT_EQ(m.core_count(), 8u);
+  EXPECT_EQ(m.socket_count(), 1u);
+  EXPECT_EQ(m.zone(0).total_frames() * kPageSize, 8ull << 30);
+}
+
+}  // namespace
+}  // namespace xemem::hw

@@ -1,0 +1,117 @@
+// Tests for the KNEM-style single-copy baseline.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "os/knem.hpp"
+#include "os/linux.hpp"
+
+#define CO_ASSERT_TRUE(x)                            \
+  do {                                               \
+    if (!(x)) {                                      \
+      ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #x; \
+      co_return;                                     \
+    }                                                \
+  } while (0)
+
+namespace xemem::os {
+namespace {
+
+struct KnemRig {
+  hw::Machine machine{hw::Machine::r420()};
+  sim::Engine eng{4};
+  LinuxEnclave linux_os{"linux",           machine,
+                        machine.zone(0),   machine.socket_bw(0),
+                        {&machine.core(0), &machine.core(1)},
+                        &machine.core(0)};
+  KnemService knem{linux_os};
+};
+
+TEST(Knem, SingleCopyMovesRealData) {
+  KnemRig rig;
+  auto run = [&]() -> sim::Task<void> {
+    Process* src = rig.linux_os.create_process(1_MiB).value();
+    Process* dst = rig.linux_os.create_process(1_MiB).value();
+    std::vector<u8> pattern(64 * 1024);
+    for (size_t i = 0; i < pattern.size(); ++i) pattern[i] = static_cast<u8>(i * 31);
+    CO_ASSERT_TRUE(rig.linux_os
+                       .proc_write(*src, src->image_base(), pattern.data(),
+                                   pattern.size())
+                       .ok());
+    auto cookie = rig.knem.declare(*src, src->image_base(), 1_MiB);
+    CO_ASSERT_TRUE(cookie.ok());
+    auto cp = co_await rig.knem.copy_from(cookie.value(), 0, pattern.size(), *dst,
+                                          dst->image_base());
+    CO_ASSERT_TRUE(cp.ok());
+    std::vector<u8> got(pattern.size());
+    CO_ASSERT_TRUE(
+        rig.linux_os.proc_read(*dst, dst->image_base(), got.data(), got.size()).ok());
+    EXPECT_EQ(got, pattern);
+  };
+  rig.eng.run(run());
+}
+
+TEST(Knem, CopyToWritesIntoDeclaredRegion) {
+  KnemRig rig;
+  auto run = [&]() -> sim::Task<void> {
+    Process* owner = rig.linux_os.create_process(1_MiB).value();
+    Process* peer = rig.linux_os.create_process(1_MiB).value();
+    const u64 marker = 0x6b6e656dull;  // "knem"
+    CO_ASSERT_TRUE(
+        rig.linux_os.proc_write(*peer, peer->image_base(), &marker, 8).ok());
+    auto cookie = rig.knem.declare(*owner, owner->image_base(), 1_MiB);
+    auto cp = co_await rig.knem.copy_to(cookie.value(), 4096, 8, *peer,
+                                        peer->image_base());
+    CO_ASSERT_TRUE(cp.ok());
+    u64 got = 0;
+    CO_ASSERT_TRUE(
+        rig.linux_os.proc_read(*owner, owner->image_base() + 4096, &got, 8).ok());
+    EXPECT_EQ(got, marker);
+  };
+  rig.eng.run(run());
+}
+
+TEST(Knem, CopyCostScalesWithBytes) {
+  KnemRig rig;
+  auto run = [&]() -> sim::Task<void> {
+    Process* src = rig.linux_os.create_process(64_MiB).value();
+    Process* dst = rig.linux_os.create_process(64_MiB).value();
+    auto cookie = rig.knem.declare(*src, src->image_base(), 64_MiB);
+    const u64 t0 = sim::now();
+    CO_ASSERT_TRUE((co_await rig.knem.copy_from(cookie.value(), 0, 1_MiB, *dst,
+                                                dst->image_base()))
+                       .ok());
+    const u64 small = sim::now() - t0;
+    const u64 t1 = sim::now();
+    CO_ASSERT_TRUE((co_await rig.knem.copy_from(cookie.value(), 0, 32_MiB, *dst,
+                                                dst->image_base()))
+                       .ok());
+    const u64 big = sim::now() - t1;
+    EXPECT_GT(big, 20 * small) << "cost per copy is linear in bytes";
+  };
+  rig.eng.run(run());
+}
+
+TEST(Knem, ErrorPaths) {
+  KnemRig rig;
+  auto run = [&]() -> sim::Task<void> {
+    Process* p = rig.linux_os.create_process(1_MiB).value();
+    // Misaligned / unmapped declarations rejected.
+    EXPECT_FALSE(rig.knem.declare(*p, p->image_base() + 3, 4096).ok());
+    EXPECT_FALSE(rig.knem.declare(*p, Vaddr{0xdead000}, 4096).ok());
+    // Out-of-range copy rejected; unknown cookie rejected.
+    auto cookie = rig.knem.declare(*p, p->image_base(), 64 * kPageSize);
+    CO_ASSERT_TRUE(cookie.ok());
+    auto bad = co_await rig.knem.copy_from(cookie.value(), 60 * kPageSize,
+                                           8 * kPageSize, *p, p->image_base());
+    EXPECT_EQ(bad.error(), Errc::invalid_argument);
+    auto unknown = co_await rig.knem.copy_from(999, 0, 8, *p, p->image_base());
+    EXPECT_EQ(unknown.error(), Errc::not_attached);
+    // Undeclare.
+    EXPECT_TRUE(rig.knem.undeclare(cookie.value()).ok());
+    EXPECT_FALSE(rig.knem.undeclare(cookie.value()).ok());
+  };
+  rig.eng.run(run());
+}
+
+}  // namespace
+}  // namespace xemem::os

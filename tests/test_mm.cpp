@@ -1,0 +1,200 @@
+// Tests for the 4-level page-table implementation and PFN lists, including
+// the map/translate round-trip property XEMEM's attach path depends on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "mm/page_table.hpp"
+#include "mm/pfn_list.hpp"
+
+namespace xemem::mm {
+namespace {
+
+TEST(PageTable, MapThenLookup) {
+  PageTable pt;
+  ASSERT_TRUE(pt.map(Vaddr{0x1000}, Pfn{42}, PageFlags::writable).ok());
+  auto pte = pt.lookup(Vaddr{0x1000});
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->pfn, Pfn{42});
+  EXPECT_TRUE(has_flag(pte->flags, PageFlags::writable));
+  EXPECT_EQ(pt.mapped_pages(), 1u);
+}
+
+TEST(PageTable, LookupOfUnmappedIsEmpty) {
+  PageTable pt;
+  EXPECT_FALSE(pt.lookup(Vaddr{0x2000}).has_value());
+  ASSERT_TRUE(pt.map(Vaddr{0x1000}, Pfn{1}, PageFlags::none).ok());
+  EXPECT_FALSE(pt.lookup(Vaddr{0x2000}).has_value());
+  // Same L1 table, different slot.
+  EXPECT_FALSE(pt.lookup(Vaddr{0x0}).has_value());
+}
+
+TEST(PageTable, DoubleMapFails) {
+  PageTable pt;
+  ASSERT_TRUE(pt.map(Vaddr{0x5000}, Pfn{1}, PageFlags::none).ok());
+  auto r = pt.map(Vaddr{0x5000}, Pfn{2}, PageFlags::none);
+  EXPECT_EQ(r.error(), Errc::already_exists);
+  EXPECT_EQ(pt.lookup(Vaddr{0x5000})->pfn, Pfn{1});
+}
+
+TEST(PageTable, MisalignedAddressRejected) {
+  PageTable pt;
+  EXPECT_EQ(pt.map(Vaddr{0x1001}, Pfn{1}, PageFlags::none).error(),
+            Errc::invalid_argument);
+  EXPECT_EQ(pt.unmap(Vaddr{0x123}).error(), Errc::invalid_argument);
+}
+
+TEST(PageTable, UnmapReclaimsEmptyTables) {
+  PageTable pt;
+  ASSERT_TRUE(pt.map(Vaddr{0x1000}, Pfn{7}, PageFlags::none).ok());
+  const u64 nodes_with_mapping = pt.table_nodes();
+  EXPECT_EQ(nodes_with_mapping, 4u);  // L4..L1 chain
+  ASSERT_TRUE(pt.unmap(Vaddr{0x1000}).ok());
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+  EXPECT_EQ(pt.table_nodes(), 1u) << "only the root should survive";
+  EXPECT_FALSE(pt.lookup(Vaddr{0x1000}).has_value());
+}
+
+TEST(PageTable, UnmapOfUnmappedFails) {
+  PageTable pt;
+  EXPECT_EQ(pt.unmap(Vaddr{0x4000}).error(), Errc::not_attached);
+}
+
+TEST(PageTable, HighCanonicalishAddresses) {
+  PageTable pt;
+  const Vaddr hi{0x00007fffffffe000ull};  // top of the user half
+  ASSERT_TRUE(pt.map(hi, Pfn{99}, PageFlags::user).ok());
+  auto pte = pt.lookup(hi);
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->pfn, Pfn{99});
+  EXPECT_TRUE(has_flag(pte->flags, PageFlags::user));
+}
+
+TEST(PageTable, MapRangeRollsBackOnConflict) {
+  PageTable pt;
+  ASSERT_TRUE(pt.map(Vaddr{0x3000}, Pfn{50}, PageFlags::none).ok());
+  std::vector<Pfn> pfns{Pfn{1}, Pfn{2}, Pfn{3}};
+  auto r = pt.map_range(Vaddr{0x1000}, pfns, PageFlags::none);  // hits 0x3000
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(pt.mapped_pages(), 1u) << "partial range must be rolled back";
+  EXPECT_TRUE(pt.lookup(Vaddr{0x3000}).has_value());
+  EXPECT_FALSE(pt.lookup(Vaddr{0x1000}).has_value());
+}
+
+TEST(PageTable, TranslateRangeGeneratesPfnListInOrder) {
+  PageTable pt;
+  std::vector<Pfn> pfns{Pfn{10}, Pfn{300}, Pfn{7}, Pfn{8}};
+  ASSERT_TRUE(pt.map_range(Vaddr{0x10000}, pfns, PageFlags::writable).ok());
+  auto r = pt.translate_range(Vaddr{0x10000}, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), pfns);
+}
+
+TEST(PageTable, TranslateRangeWithHoleFails) {
+  PageTable pt;
+  ASSERT_TRUE(pt.map(Vaddr{0x1000}, Pfn{1}, PageFlags::none).ok());
+  ASSERT_TRUE(pt.map(Vaddr{0x3000}, Pfn{3}, PageFlags::none).ok());
+  EXPECT_FALSE(pt.translate_range(Vaddr{0x1000}, 3).ok());
+}
+
+TEST(PageTable, WalkStatsCountStructuralWork) {
+  PageTable pt;
+  WalkStats st;
+  ASSERT_TRUE(pt.map(Vaddr{0x1000}, Pfn{1}, PageFlags::none, &st).ok());
+  EXPECT_EQ(st.entries_visited, 4u);
+  EXPECT_EQ(st.tables_allocated, 4u);
+  WalkStats st2;
+  ASSERT_TRUE(pt.map(Vaddr{0x2000}, Pfn{2}, PageFlags::none, &st2).ok());
+  EXPECT_EQ(st2.tables_allocated, 0u) << "same L1 table reused";
+}
+
+// Property: map a random set of pages, then translate_range over each run
+// reproduces exactly the frames mapped (the attach-path invariant), and a
+// full unmap returns the tree to just the root.
+TEST(PageTableProperty, MapTranslateUnmapRoundTrip) {
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    PageTable pt;
+    const u64 count = 1 + rng.uniform_u64(500);
+    const Vaddr base{(1 + rng.uniform_u64(1000)) * 0x200000ull};
+    std::vector<Pfn> pfns;
+    for (u64 i = 0; i < count; ++i) pfns.push_back(Pfn{rng.uniform_u64(1 << 20)});
+    ASSERT_TRUE(pt.map_range(base, pfns, PageFlags::writable).ok());
+    EXPECT_EQ(pt.mapped_pages(), count);
+    auto got = pt.translate_range(base, count);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), pfns);
+    ASSERT_TRUE(pt.unmap_range(base, count).ok());
+    EXPECT_EQ(pt.mapped_pages(), 0u);
+    EXPECT_LE(pt.table_nodes(), 1u);
+  }
+}
+
+// Property: sparse random single mappings behave like a std::map oracle.
+TEST(PageTableProperty, DifferentialAgainstMapOracle) {
+  Rng rng(23);
+  PageTable pt;
+  std::map<u64, u64> oracle;
+  for (int step = 0; step < 2000; ++step) {
+    const Vaddr va{rng.uniform_u64(1 << 16) << kPageShift};
+    const double dice = rng.uniform();
+    if (dice < 0.5) {
+      const Pfn pfn{1 + rng.uniform_u64(1 << 30)};
+      auto r = pt.map(va, pfn, PageFlags::none);
+      if (oracle.contains(va.value())) {
+        EXPECT_EQ(r.error(), Errc::already_exists);
+      } else {
+        EXPECT_TRUE(r.ok());
+        oracle[va.value()] = pfn.value();
+      }
+    } else if (dice < 0.75) {
+      auto r = pt.unmap(va);
+      EXPECT_EQ(r.ok(), oracle.erase(va.value()) == 1);
+    } else {
+      auto pte = pt.lookup(va);
+      auto it = oracle.find(va.value());
+      ASSERT_EQ(pte.has_value(), it != oracle.end());
+      if (pte) EXPECT_EQ(pte->pfn.value(), it->second);
+    }
+  }
+  EXPECT_EQ(pt.mapped_pages(), oracle.size());
+}
+
+// ----------------------------------------------------------------- PfnList
+
+TEST(PfnList, WireBytesAre8PerEntry) {
+  PfnList l;
+  l.pfns = {Pfn{1}, Pfn{2}, Pfn{9}};
+  EXPECT_EQ(l.wire_bytes(), 24u);
+  EXPECT_EQ(l.byte_span(), 3 * kPageSize);
+}
+
+TEST(PfnList, ContiguousRunCompressesToOneExtent) {
+  PfnList l;
+  for (u64 i = 100; i < 612; ++i) l.pfns.push_back(Pfn{i});
+  auto ext = l.extents();
+  ASSERT_EQ(ext.size(), 1u);
+  EXPECT_EQ(ext[0].start, Pfn{100});
+  EXPECT_EQ(ext[0].count, 512u);
+}
+
+TEST(PfnList, ScatteredListStaysPerPage) {
+  PfnList l;
+  for (u64 i = 0; i < 64; ++i) l.pfns.push_back(Pfn{i * 2});  // all gaps
+  EXPECT_EQ(l.extents().size(), 64u);
+}
+
+TEST(PfnList, ExtentRoundTrip) {
+  Rng rng(3);
+  PfnList l;
+  u64 p = 0;
+  for (int i = 0; i < 300; ++i) {
+    p += 1 + (rng.uniform() < 0.3 ? rng.uniform_u64(10) : 0);
+    l.pfns.push_back(Pfn{p});
+  }
+  EXPECT_EQ(PfnList::from_extents(l.extents()).pfns, l.pfns);
+}
+
+}  // namespace
+}  // namespace xemem::mm

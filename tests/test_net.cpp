@@ -1,0 +1,129 @@
+// Tests for the Infiniband/RDMA model and the cluster collectives.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "net/fabric.hpp"
+#include "net/ib.hpp"
+#include "sim/engine.hpp"
+
+namespace xemem::net {
+namespace {
+
+TEST(Ib, LargeWriteApproachesLinkRate) {
+  sim::Engine eng;
+  IbDevice dev;
+  dev.enable_sriov(2);
+  auto main = [&]() -> sim::Task<double> {
+    const u64 bytes = 1_GiB;
+    const u64 t0 = sim::now();
+    co_await dev.vf(0).rdma_write(bytes);
+    co_return gb_per_s(bytes, sim::now() - t0);
+  };
+  const double gbps = eng.run(main());
+  // Paper: "slightly less than 3.5 GB/s" for large writes on QDR.
+  EXPECT_GT(gbps, 3.2);
+  EXPECT_LT(gbps, 3.5);
+}
+
+TEST(Ib, SmallWritesDominatedByOverhead) {
+  sim::Engine eng;
+  IbDevice dev;
+  dev.enable_sriov(1);
+  auto main = [&]() -> sim::Task<double> {
+    const u64 t0 = sim::now();
+    for (int i = 0; i < 100; ++i) co_await dev.vf(0).rdma_write(64);
+    co_return gb_per_s(100 * 64, sim::now() - t0);
+  };
+  EXPECT_LT(eng.run(main()), 0.1) << "64 B writes cannot reach link rate";
+}
+
+TEST(Ib, VfsShareTheLink) {
+  sim::Engine eng;
+  IbDevice dev;
+  dev.enable_sriov(2);
+  std::vector<u64> done;
+  auto writer = [&](u32 vf) -> sim::Task<void> {
+    co_await dev.vf(vf).rdma_write(256_MiB);
+    done.push_back(sim::now());
+  };
+  eng.spawn(writer(0));
+  eng.spawn(writer(1));
+  eng.run_until_idle();
+  ASSERT_EQ(done.size(), 2u);
+  // Two concurrent writers each see ~half the link: both finish around
+  // 2 * 256 MiB / 3.4 B/ns ~= 158 ms.
+  const double expect_ns = 2.0 * 256.0 * 1024 * 1024 / 3.4;
+  EXPECT_NEAR(static_cast<double>(done[0]), expect_ns, expect_ns * 0.05);
+  EXPECT_NEAR(static_cast<double>(done[1]), expect_ns, expect_ns * 0.05);
+}
+
+TEST(Communicator, AllreduceWaitsForSlowestRank) {
+  sim::Engine eng;
+  Communicator comm(4);
+  std::vector<u64> release;
+  auto rank = [&](sim::Duration arrive) -> sim::Task<void> {
+    co_await sim::delay(arrive);
+    co_await comm.allreduce(16);
+    release.push_back(sim::now());
+  };
+  eng.spawn(rank(1_ms));
+  eng.spawn(rank(2_ms));
+  eng.spawn(rank(3_ms));
+  eng.spawn(rank(9_ms));  // straggler
+  eng.run_until_idle();
+  ASSERT_EQ(release.size(), 4u);
+  for (u64 t : release) {
+    EXPECT_GE(t, 9_ms) << "no rank may finish before the straggler arrives";
+    EXPECT_LT(t, 9_ms + 100_us);
+  }
+}
+
+TEST(Communicator, SingleRankAllreduceIsFree) {
+  sim::Engine eng;
+  Communicator comm(1);
+  auto main = [&]() -> sim::Task<u64> {
+    co_await comm.allreduce(1_MiB);
+    co_return sim::now();
+  };
+  EXPECT_EQ(eng.run(main()), 0u);
+}
+
+TEST(Communicator, CostGrowsLogarithmically) {
+  auto cost_for = [](u32 ranks) {
+    sim::Engine eng;
+    Communicator comm(ranks);
+    std::vector<u64> done;
+    auto rank = [&]() -> sim::Task<void> {
+      co_await comm.allreduce(8);
+      done.push_back(sim::now());
+    };
+    for (u32 i = 0; i < ranks; ++i) eng.spawn(rank());
+    eng.run_until_idle();
+    return done.back();
+  };
+  const u64 c2 = cost_for(2);
+  const u64 c8 = cost_for(8);
+  EXPECT_NEAR(static_cast<double>(c8), 3.0 * static_cast<double>(c2), 10.0)
+      << "recursive doubling: log2(8)/log2(2) = 3";
+}
+
+TEST(Communicator, ReusableAcrossIterations) {
+  sim::Engine eng;
+  Communicator comm(3);
+  int completed = 0;
+  auto rank = [&](sim::Duration jitter) -> sim::Task<void> {
+    for (int it = 0; it < 50; ++it) {
+      co_await sim::delay(jitter);
+      co_await comm.allreduce(8);
+    }
+    ++completed;
+  };
+  eng.spawn(rank(10_us));
+  eng.spawn(rank(20_us));
+  eng.spawn(rank(30_us));
+  eng.run_until_idle();
+  EXPECT_EQ(completed, 3);
+}
+
+}  // namespace
+}  // namespace xemem::net

@@ -1,0 +1,229 @@
+// Tests for the shared-memory message ring over XEMEM attachments:
+// ordering, wraparound, backpressure, variable-length integrity, and
+// operation across the VM boundary (every access translated GPA->HPA).
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "xemem/ring.hpp"
+#include "xemem/system.hpp"
+
+#define CO_ASSERT_TRUE(x)                            \
+  do {                                               \
+    if (!(x)) {                                      \
+      ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #x; \
+      co_return;                                     \
+    }                                                \
+  } while (0)
+
+namespace xemem {
+namespace {
+
+struct RingFixture {
+  sim::Engine eng{77};
+  Node node{hw::Machine::r420()};
+
+  RingFixture() {
+    node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+    node.add_cokernel("kitten0", 0, {6, 7}, 256_MiB);
+    node.add_vm("vm0", "linux", 128_MiB, {4, 5});
+  }
+
+  struct Pair {
+    os::Process* producer_proc;
+    os::Process* consumer_proc;
+    Vaddr producer_base;
+    Vaddr consumer_base;
+    XpmemAttachment att;
+  };
+
+  /// Export a ring region in @p prod_enclave, attach from @p cons_enclave.
+  sim::Task<Pair> wire(const std::string& prod_enclave,
+                       const std::string& cons_enclave, u64 region) {
+    Pair p{};
+    p.producer_proc = node.enclave(prod_enclave).create_process(region + kPageSize)
+                          .value();
+    p.consumer_proc = node.enclave(cons_enclave).create_process(1_MiB).value();
+    p.producer_base = p.producer_proc->image_base();
+    auto sid = co_await node.kernel(prod_enclave)
+                   .xpmem_make(*p.producer_proc, p.producer_base, region);
+    XEMEM_ASSERT(sid.ok());
+    auto grant = co_await node.kernel(cons_enclave).xpmem_get(sid.value());
+    XEMEM_ASSERT(grant.ok());
+    auto att = co_await node.kernel(cons_enclave)
+                   .xpmem_attach(*p.consumer_proc, grant.value(), 0, region);
+    XEMEM_ASSERT(att.ok());
+    co_await node.enclave(cons_enclave)
+        .touch_attached(*p.consumer_proc, att.value().va, att.value().pages);
+    p.consumer_base = att.value().va;
+    p.att = att.value();
+    co_return p;
+  }
+};
+
+TEST(Ring, FifoOrderAcrossEnclaves) {
+  RingFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto p = co_await f.wire("kitten0", "linux", 1_MiB);
+    shm::RingProducer prod(f.node.enclave("kitten0"), *p.producer_proc,
+                           p.producer_base, 1_MiB, 256);
+    shm::RingConsumer cons(f.node.enclave("linux"), *p.consumer_proc,
+                           p.consumer_base, 1_MiB, 256);
+    CO_ASSERT_TRUE(prod.init().ok());
+
+    for (u32 i = 0; i < 100; ++i) {
+      CO_ASSERT_TRUE((co_await prod.push(&i, sizeof(i))).ok());
+    }
+    EXPECT_EQ(cons.pending(), 100u);
+    for (u32 i = 0; i < 100; ++i) {
+      auto msg = co_await cons.pop();
+      CO_ASSERT_TRUE(msg.ok());
+      u32 v = 0;
+      memcpy(&v, msg.value().data(), sizeof(v));
+      EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(cons.pending(), 0u);
+  };
+  f.eng.run(main());
+}
+
+TEST(Ring, WraparoundPreservesData) {
+  RingFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    // Tiny ring: 3 pages => 2 slot pages / 512B slots = 16 slots.
+    auto p = co_await f.wire("kitten0", "linux", 3 * kPageSize);
+    shm::RingProducer prod(f.node.enclave("kitten0"), *p.producer_proc,
+                           p.producer_base, 3 * kPageSize, 512);
+    shm::RingConsumer cons(f.node.enclave("linux"), *p.consumer_proc,
+                           p.consumer_base, 3 * kPageSize, 512);
+    CO_ASSERT_TRUE(prod.init().ok());
+    EXPECT_EQ(prod.capacity_slots(), 16u);
+
+    // Many times around the ring, interleaved.
+    for (u64 i = 0; i < 200; ++i) {
+      CO_ASSERT_TRUE((co_await prod.push(&i, sizeof(i))).ok());
+      auto msg = co_await cons.pop();
+      CO_ASSERT_TRUE(msg.ok());
+      u64 v = 0;
+      memcpy(&v, msg.value().data(), sizeof(v));
+      EXPECT_EQ(v, i);
+    }
+  };
+  f.eng.run(main());
+}
+
+TEST(Ring, BackpressureBlocksProducerUntilConsumed) {
+  RingFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto p = co_await f.wire("kitten0", "linux", 3 * kPageSize);
+    shm::RingProducer prod(f.node.enclave("kitten0"), *p.producer_proc,
+                           p.producer_base, 3 * kPageSize, 512);
+    shm::RingConsumer cons(f.node.enclave("linux"), *p.consumer_proc,
+                           p.consumer_base, 3 * kPageSize, 512);
+    CO_ASSERT_TRUE(prod.init().ok());
+
+    // Fill the ring; the next try_push must refuse.
+    for (u64 i = 0; i < prod.capacity_slots(); ++i) {
+      auto r = co_await prod.try_push(&i, sizeof(i));
+      CO_ASSERT_TRUE(r.ok() && r.value());
+    }
+    u64 extra = 999;
+    auto full = co_await prod.try_push(&extra, sizeof(extra));
+    CO_ASSERT_TRUE(full.ok());
+    EXPECT_FALSE(full.value());
+
+    // Blocking push completes only after the consumer drains a slot.
+    auto consumer_later = [&]() -> sim::Task<void> {
+      co_await sim::delay(5_ms);
+      auto msg = co_await cons.pop();
+      XEMEM_ASSERT(msg.ok());
+    };
+    sim::Engine::current()->spawn(consumer_later());
+    const u64 t0 = sim::now();
+    CO_ASSERT_TRUE((co_await prod.push(&extra, sizeof(extra))).ok());
+    EXPECT_GE(sim::now() - t0, 5_ms);
+  };
+  f.eng.run(main());
+}
+
+TEST(Ring, VariableLengthMessagesWithChecksums) {
+  RingFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto p = co_await f.wire("kitten0", "linux", 1_MiB);
+    shm::RingProducer prod(f.node.enclave("kitten0"), *p.producer_proc,
+                           p.producer_base, 1_MiB, 1024);
+    shm::RingConsumer cons(f.node.enclave("linux"), *p.consumer_proc,
+                           p.consumer_base, 1_MiB, 1024);
+    CO_ASSERT_TRUE(prod.init().ok());
+
+    Rng rng(4);
+    auto producer = [&]() -> sim::Task<void> {
+      for (int i = 0; i < 64; ++i) {
+        std::vector<u8> msg(1 + rng.uniform_u64(1000));
+        for (auto& b : msg) b = static_cast<u8>(rng.next());
+        u8 sum = 0;
+        for (size_t j = 1; j < msg.size(); ++j) sum ^= msg[j];
+        msg[0] = sum;
+        XEMEM_ASSERT(
+            (co_await prod.push(msg.data(), static_cast<u32>(msg.size()))).ok());
+      }
+    };
+    sim::Engine::current()->spawn(producer());
+
+    for (int i = 0; i < 64; ++i) {
+      auto msg = co_await cons.pop();
+      CO_ASSERT_TRUE(msg.ok());
+      u8 sum = 0;
+      for (size_t j = 1; j < msg.value().size(); ++j) sum ^= msg.value()[j];
+      EXPECT_EQ(sum, msg.value()[0]) << "message " << i << " corrupted";
+    }
+  };
+  f.eng.run(main());
+}
+
+TEST(Ring, WorksAcrossTheVmBoundary) {
+  RingFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    // Producer in the VM, consumer in native Kitten: every ring access on
+    // the consumer side goes through the attachment of guest memory, i.e.
+    // through the Palacios memory-map translation.
+    auto p = co_await f.wire("vm0", "kitten0", 256 * kPageSize);
+    shm::RingProducer prod(f.node.enclave("vm0"), *p.producer_proc,
+                           p.producer_base, 256 * kPageSize, 256);
+    shm::RingConsumer cons(f.node.enclave("kitten0"), *p.consumer_proc,
+                           p.consumer_base, 256 * kPageSize, 256);
+    CO_ASSERT_TRUE(prod.init().ok());
+    for (u32 i = 0; i < 50; ++i) {
+      const u64 v = 0xabc000 + i;
+      CO_ASSERT_TRUE((co_await prod.push(&v, sizeof(v))).ok());
+      auto msg = co_await cons.pop();
+      CO_ASSERT_TRUE(msg.ok());
+      u64 got = 0;
+      memcpy(&got, msg.value().data(), sizeof(got));
+      EXPECT_EQ(got, v);
+    }
+  };
+  f.eng.run(main());
+}
+
+TEST(Ring, OversizeMessageRejected) {
+  RingFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto p = co_await f.wire("kitten0", "linux", 1_MiB);
+    shm::RingProducer prod(f.node.enclave("kitten0"), *p.producer_proc,
+                           p.producer_base, 1_MiB, 128);
+    CO_ASSERT_TRUE(prod.init().ok());
+    std::vector<u8> big(500);
+    auto r = co_await prod.try_push(big.data(), static_cast<u32>(big.size()));
+    EXPECT_EQ(r.error(), Errc::invalid_argument);
+  };
+  f.eng.run(main());
+}
+
+}  // namespace
+}  // namespace xemem

@@ -1,0 +1,247 @@
+// Tests for the shared-memory application layer: flags, locks, barriers,
+// counters, and the shared-region allocator — including cross-enclave use
+// where owner and attacher manipulate the same objects through different
+// mappings.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "xemem/shm_alloc.hpp"
+#include "xemem/shm_sync.hpp"
+#include "xemem/system.hpp"
+
+#define CO_ASSERT_TRUE(x)                            \
+  do {                                               \
+    if (!(x)) {                                      \
+      ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #x; \
+      co_return;                                     \
+    }                                                \
+  } while (0)
+
+namespace xemem {
+namespace {
+
+// Two views of one shared region: the Kitten owner and a Linux attacher.
+struct ShmFixture {
+  sim::Engine eng{17};
+  Node node{hw::Machine::r420()};
+  os::Process* owner{};
+  os::Process* user{};
+  Vaddr owner_base{};
+  Vaddr user_base{};
+  static constexpr u64 kRegion = 4ull << 20;
+
+  ShmFixture() {
+    node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+    node.add_cokernel("ck", 0, {6, 7}, 64ull << 20);
+  }
+
+  sim::Task<void> setup() {
+    co_await node.start();
+    owner = node.enclave("ck").create_process(kRegion + kPageSize).value();
+    owner_base = owner->image_base();
+    auto sid = co_await node.kernel("ck").xpmem_make(*owner, owner_base, kRegion);
+    auto grant = co_await node.kernel("linux").xpmem_get(sid.value());
+    user = node.enclave("linux").create_process(1_MiB).value();
+    auto att = co_await node.kernel("linux").xpmem_attach(*user, grant.value(), 0,
+                                                          kRegion);
+    XEMEM_ASSERT(att.ok());
+    co_await node.enclave("linux").touch_attached(*user, att.value().va,
+                                                  att.value().pages);
+    user_base = att.value().va;
+  }
+
+  os::Enclave& ck() { return node.enclave("ck"); }
+  os::Enclave& lin() { return node.enclave("linux"); }
+};
+
+TEST(ShmSync, FlagSignalsAcrossEnclaves) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    shm::ShmFlag owner_view(f.ck(), *f.owner, f.owner_base);
+    shm::ShmFlag user_view(f.lin(), *f.user, f.user_base);
+    owner_view.clear();
+    EXPECT_FALSE(user_view.is_raised());
+
+    auto raiser = [&]() -> sim::Task<void> {
+      co_await sim::delay(3_ms);
+      owner_view.raise();
+    };
+    sim::Engine::current()->spawn(raiser());
+    const u64 t0 = sim::now();
+    co_await user_view.wait();
+    EXPECT_GE(sim::now() - t0, 3_ms);
+  };
+  f.eng.run(main());
+}
+
+TEST(ShmSync, LockExcludesAcrossEnclaves) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    shm::ShmLock owner_lock(f.ck(), *f.owner, f.owner_base);
+    shm::ShmLock user_lock(f.lin(), *f.user, f.user_base);
+    // Owner takes the lock; the attacher's try_lock must fail until release.
+    co_await owner_lock.lock();
+    EXPECT_FALSE(user_lock.try_lock());
+    owner_lock.unlock();
+    EXPECT_TRUE(user_lock.try_lock());
+    user_lock.unlock();
+
+    // Blocking acquisition waits for the holder.
+    co_await owner_lock.lock();
+    auto releaser = [&]() -> sim::Task<void> {
+      co_await sim::delay(2_ms);
+      owner_lock.unlock();
+    };
+    sim::Engine::current()->spawn(releaser());
+    const u64 t0 = sim::now();
+    co_await user_lock.lock();
+    EXPECT_GE(sim::now() - t0, 2_ms);
+    user_lock.unlock();
+  };
+  f.eng.run(main());
+}
+
+TEST(ShmSync, BarrierSynchronizesAndReuses) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    shm::ShmBarrier a(f.ck(), *f.owner, f.owner_base, 2);
+    shm::ShmBarrier b(f.lin(), *f.user, f.user_base, 2);
+    a.init();
+    std::vector<u64> releases;
+    auto party = [&](shm::ShmBarrier* bar, sim::Duration d1,
+                     sim::Duration d2) -> sim::Task<void> {
+      co_await sim::delay(d1);
+      co_await bar->arrive_and_wait();
+      releases.push_back(sim::now());
+      co_await sim::delay(d2);
+      co_await bar->arrive_and_wait();  // second episode (sense reversal)
+      releases.push_back(sim::now());
+    };
+    sim::Engine::current()->spawn(party(&a, 1_ms, 5_ms));
+    co_await party(&b, 4_ms, 1_ms);
+    CO_ASSERT_TRUE(releases.size() == 4u);
+    // Episode 1 releases at ~4 ms (the late arriver), episode 2 at ~9 ms.
+    EXPECT_GE(releases[0], 4_ms);
+    EXPECT_LT(releases[1], releases[0] + 100_us);
+    EXPECT_GE(releases[2], 9_ms);
+  };
+  f.eng.run(main());
+}
+
+TEST(ShmSync, CounterPublishesProgress) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    shm::ShmCounter prod(f.ck(), *f.owner, f.owner_base + 64);
+    shm::ShmCounter cons(f.lin(), *f.user, f.user_base + 64);
+    prod.publish(0);
+    auto producer = [&]() -> sim::Task<void> {
+      for (int i = 0; i < 5; ++i) {
+        co_await sim::delay(1_ms);
+        prod.increment();
+      }
+    };
+    sim::Engine::current()->spawn(producer());
+    co_await cons.wait_at_least(5);
+    EXPECT_GE(sim::now(), 5_ms);
+    EXPECT_EQ(cons.read(), 5u);
+  };
+  f.eng.run(main());
+}
+
+// ---------------------------------------------------------------- allocator
+
+TEST(ShmAlloc, AllocateWriteReadFreeAcrossEnclaves) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    shm::ShmAllocator owner_heap(f.ck(), *f.owner, f.owner_base, ShmFixture::kRegion);
+    shm::ShmAllocator user_heap(f.lin(), *f.user, f.user_base, ShmFixture::kRegion);
+    CO_ASSERT_TRUE(owner_heap.init().ok());
+    EXPECT_TRUE(user_heap.valid()) << "attacher sees the formatted heap";
+    const u64 free0 = owner_heap.free_bytes();
+
+    // Owner allocates and writes an object; the attacher reads it by offset.
+    struct Tile {
+      u64 id;
+      double values[8];
+    };
+    auto off = owner_heap.allocate(sizeof(Tile));
+    CO_ASSERT_TRUE(off.ok());
+    Tile t{42, {1, 2, 3, 4, 5, 6, 7, 8}};
+    CO_ASSERT_TRUE(owner_heap.write_object(off.value(), t).ok());
+
+    auto got = user_heap.read_object<Tile>(off.value());
+    CO_ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().id, 42u);
+    EXPECT_DOUBLE_EQ(got.value().values[7], 8.0);
+
+    // The attacher can free it; the heap returns to its initial state.
+    CO_ASSERT_TRUE(user_heap.deallocate(off.value()).ok());
+    EXPECT_EQ(owner_heap.free_bytes(), free0);
+  };
+  f.eng.run(main());
+}
+
+TEST(ShmAlloc, ExhaustionSplitAndCoalesce) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    shm::ShmAllocator heap(f.ck(), *f.owner, f.owner_base, 64 * 1024);
+    CO_ASSERT_TRUE(heap.init().ok());
+    const u64 free0 = heap.free_bytes();
+
+    // Fill with many small blocks until exhaustion.
+    std::vector<u64> offs;
+    for (;;) {
+      auto r = heap.allocate(1000);
+      if (!r.ok()) {
+        EXPECT_EQ(r.error(), Errc::out_of_memory);
+        break;
+      }
+      offs.push_back(r.value());
+    }
+    EXPECT_GT(offs.size(), 50u);
+
+    // Free every other block: a 2000-byte allocation must fail
+    // (fragmented), but succeeds after freeing the rest (coalescing).
+    for (size_t i = 0; i < offs.size(); i += 2) {
+      CO_ASSERT_TRUE(heap.deallocate(offs[i]).ok());
+    }
+    EXPECT_FALSE(heap.allocate(2000).ok());
+    for (size_t i = 1; i < offs.size(); i += 2) {
+      CO_ASSERT_TRUE(heap.deallocate(offs[i]).ok());
+    }
+    EXPECT_EQ(heap.free_bytes(), free0) << "full free restores the heap";
+    EXPECT_TRUE(heap.allocate(2000).ok());
+  };
+  f.eng.run(main());
+}
+
+TEST(ShmAlloc, InvalidOperationsRejected) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    shm::ShmAllocator heap(f.ck(), *f.owner, f.owner_base, 64 * 1024);
+    // Unformatted heap refuses service.
+    u64 zero = 0;
+    CO_ASSERT_TRUE(f.ck().proc_write(*f.owner, f.owner_base, &zero, 8).ok());
+    EXPECT_FALSE(heap.valid());
+    EXPECT_EQ(heap.allocate(64).error(), Errc::protocol_error);
+
+    CO_ASSERT_TRUE(heap.init().ok());
+    EXPECT_EQ(heap.allocate(0).error(), Errc::invalid_argument);
+    EXPECT_FALSE(heap.deallocate(12345).ok()) << "random offset rejected";
+    auto off = heap.allocate(64);
+    CO_ASSERT_TRUE(off.ok());
+    CO_ASSERT_TRUE(heap.deallocate(off.value()).ok());
+    EXPECT_FALSE(heap.deallocate(off.value()).ok()) << "double free rejected";
+  };
+  f.eng.run(main());
+}
+
+}  // namespace
+}  // namespace xemem

@@ -1,0 +1,253 @@
+// Tests for the workload implementations: CG convergence (real numerics),
+// STREAM correctness, the selfish-detour benchmark against the noise
+// models, and end-to-end in-situ runs across execution/attachment models.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "hw/noise.hpp"
+#include "workloads/detour.hpp"
+#include "workloads/hpccg.hpp"
+#include "workloads/insitu.hpp"
+#include "workloads/stream.hpp"
+
+#define CO_ASSERT_TRUE(x)                            \
+  do {                                               \
+    if (!(x)) {                                      \
+      ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #x; \
+      co_return;                                     \
+    }                                                \
+  } while (0)
+
+namespace xemem::workloads {
+namespace {
+
+// ------------------------------------------------------------------ HPCCG
+
+TEST(Hpccg, MatrixShapeMatches27PointStencil) {
+  CgSolver cg(CgSolver::Grid{8, 8, 8});
+  EXPECT_EQ(cg.rows(), 512u);
+  // Interior points have 27 neighbors; boundaries fewer.
+  EXPECT_LT(cg.nonzeros(), 512u * 27);
+  EXPECT_GT(cg.nonzeros(), 512u * 8);
+  EXPECT_GT(cg.flops_per_iteration(), 2 * cg.nonzeros());
+}
+
+TEST(Hpccg, ResidualDecreasesMonotonically) {
+  CgSolver cg(CgSolver::Grid{10, 10, 10});
+  double prev = cg.residual_norm();
+  for (int i = 0; i < 30; ++i) {
+    const double r = cg.iterate();
+    EXPECT_LT(r, prev * 1.0001) << "CG residual must not grow (SPD system)";
+    prev = r;
+  }
+}
+
+TEST(Hpccg, ConvergesToExactSolution) {
+  CgSolver cg(CgSolver::Grid{12, 12, 12});
+  for (int i = 0; i < 60 && cg.residual_norm() > 1e-10; ++i) cg.iterate();
+  EXPECT_LT(cg.residual_norm(), 1e-10);
+  EXPECT_LT(cg.solution_error(), 1e-9) << "solution must approach all-ones";
+}
+
+TEST(Hpccg, ResetRestartsCleanly) {
+  CgSolver cg(CgSolver::Grid{6, 6, 6});
+  for (int i = 0; i < 5; ++i) cg.iterate();
+  const double after5 = cg.residual_norm();
+  cg.reset();
+  EXPECT_EQ(cg.iterations(), 0u);
+  for (int i = 0; i < 5; ++i) cg.iterate();
+  EXPECT_DOUBLE_EQ(cg.residual_norm(), after5);
+}
+
+// ----------------------------------------------------------------- STREAM
+
+TEST(Stream, KernelsComputeExpectedValues) {
+  Stream s(1000);
+  s.pass(3.0);
+  // a=1, b=2 initially: copy c=a=1; scale b=3*c=3; add c=a+b=4;
+  // triad a=b+3*c=15.
+  EXPECT_DOUBLE_EQ(s.checksum(), 1000 * (15.0 + 3.0 + 4.0));
+}
+
+TEST(Stream, BytesPerPassAccounting) {
+  EXPECT_EQ(Stream::bytes_per_pass(512ull << 20), 10 * (512ull << 20));
+}
+
+// ----------------------------------------------------------------- Detour
+
+TEST(Detour, QuietCoreShowsNoDetours) {
+  sim::Engine eng;
+  hw::Core core(0, 0);
+  auto trace = eng.run(selfish_detour(core, 100_ms));
+  EXPECT_EQ(trace.detours.size(), 0u);
+  EXPECT_GT(trace.samples, 10000u);
+}
+
+TEST(Detour, CapturesKittenNoiseBand) {
+  sim::Engine eng(77);
+  hw::Core core(0, 0);
+  Rng rng(5);
+  hw::spawn_noise(eng, core, hw::kitten_noise(), rng, 5_s);
+  auto trace = eng.run(selfish_detour(core, 5_s));
+  ASSERT_GT(trace.detours.size(), 500u) << "the 12us band is dense";
+  double mean = 0;
+  for (auto& d : trace.detours) mean += static_cast<double>(d.duration);
+  mean /= static_cast<double>(trace.detours.size());
+  EXPECT_NEAR(mean, 12000.0, 2500.0) << "detours should cluster near 12 us";
+  EXPECT_LT(trace.noise_fraction(5_s), 0.01);
+}
+
+TEST(Detour, CapturesInjectedServiceDetour) {
+  sim::Engine eng;
+  hw::Core core(0, 0);
+  auto attach_service = [&]() -> sim::Task<void> {
+    co_await sim::delay(50_ms);
+    co_await core.run_irq(23_ms);  // a 1 GiB page-table walk
+  };
+  eng.spawn(attach_service());
+  auto trace = eng.run(selfish_detour(core, 200_ms));
+  ASSERT_EQ(trace.detours.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(trace.detours[0].duration), 23e6, 1e4);
+}
+
+// ----------------------------------------------------------------- Insitu
+
+InsituConfig small_insitu(bool async, bool recurring) {
+  InsituConfig cfg;
+  cfg.iterations = 60;
+  cfg.signal_every = 20;   // 3 communication points
+  cfg.region_bytes = 8_MiB;
+  cfg.async = async;
+  cfg.recurring = recurring;
+  cfg.sim_compute_ns = 2_ms;
+  cfg.sim_mem_bytes = 16_MiB;
+  cfg.stream_passes = 1;
+  cfg.grid = 8;
+  cfg.stream_elems = 1 << 12;
+  cfg.poll_interval = 20_us;
+  return cfg;
+}
+
+struct InsituFixture {
+  sim::Engine eng{101};
+  Node node{hw::Machine::optiplex()};
+
+  InsituFixture() {
+    node.add_linux_mgmt("linux", 0, {0, 1, 2, 3, 4, 5});
+    node.add_cokernel("kitten0", 0, {6, 7}, 1_GiB);
+  }
+};
+
+TEST(Insitu, CompletesWithRealConvergence) {
+  InsituFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto r = co_await run_insitu(f.node, "kitten0", "linux",
+                                 small_insitu(false, false));
+    EXPECT_GT(r.sim_seconds, 0.1);
+    EXPECT_LT(r.residual, 1e-6) << "60 CG iterations on an 8^3 grid converge";
+    EXPECT_EQ(r.attaches_performed, 1u) << "one-time model attaches once";
+    EXPECT_EQ(f.node.machine().pmem().total_refs(), 0u) << "leak-free teardown";
+  };
+  f.eng.run(main());
+}
+
+TEST(Insitu, RecurringModelReattachesEveryInterval) {
+  InsituFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto r = co_await run_insitu(f.node, "kitten0", "linux",
+                                 small_insitu(false, true));
+    EXPECT_EQ(r.attaches_performed, 3u);
+    EXPECT_EQ(f.node.machine().pmem().total_refs(), 0u);
+  };
+  f.eng.run(main());
+}
+
+TEST(Insitu, AsyncIsFasterThanSync) {
+  double sync_s = 0, async_s = 0;
+  {
+    InsituFixture f;
+    auto main = [&]() -> sim::Task<void> {
+      co_await f.node.start();
+      auto r =
+          co_await run_insitu(f.node, "kitten0", "linux", small_insitu(false, false));
+      sync_s = r.sim_seconds;
+    };
+    f.eng.run(main());
+  }
+  {
+    InsituFixture f;
+    auto main = [&]() -> sim::Task<void> {
+      co_await f.node.start();
+      auto r =
+          co_await run_insitu(f.node, "kitten0", "linux", small_insitu(true, false));
+      async_s = r.sim_seconds;
+    };
+    f.eng.run(main());
+  }
+  EXPECT_LT(async_s, sync_s)
+      << "asynchronous execution overlaps analytics with simulation";
+}
+
+TEST(Insitu, LinuxOnlyConfigurationWorks) {
+  sim::Engine eng(55);
+  Node node(hw::Machine::optiplex());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3, 4, 5, 6, 7});
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    auto r = co_await run_insitu(node, "linux", "linux", small_insitu(false, true));
+    EXPECT_EQ(r.attaches_performed, 3u);
+    EXPECT_LT(r.residual, 1e-6);
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u);
+  };
+  eng.run(main());
+}
+
+TEST(Insitu, VmAnalyticsConfigurationWorks) {
+  sim::Engine eng(66);
+  Node node(hw::Machine::optiplex());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  node.add_cokernel("kitten0", 0, {6, 7}, 1_GiB);
+  node.add_vm("vm0", "linux", 512_MiB, {4, 5});
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    auto r = co_await run_insitu(node, "kitten0", "vm0", small_insitu(false, true));
+    EXPECT_EQ(r.attaches_performed, 3u);
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u);
+  };
+  eng.run(main());
+}
+
+TEST(Insitu, MultiNodeWeakScalingRuns) {
+  sim::Engine eng(88);
+  constexpr u32 kNodes = 2;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (u32 i = 0; i < kNodes; ++i) {
+    auto n = std::make_unique<Node>(hw::Machine::r420());
+    n->add_linux_mgmt("linux", 0, {0, 1, 2, 3, 4, 5, 6, 7});
+    nodes.push_back(std::move(n));
+  }
+  net::Communicator comm(kNodes);
+  std::vector<double> times(kNodes);
+  sim::Barrier done(kNodes + 1);
+
+  auto node_main = [&](u32 i) -> sim::Task<void> {
+    co_await nodes[i]->start();
+    auto cfg = small_insitu(true, false);
+    cfg.comm = &comm;
+    cfg.run_tag = i;
+    auto r = co_await run_insitu(*nodes[i], "linux", "linux", cfg);
+    times[i] = r.sim_seconds;
+    co_await done.arrive_and_wait();
+  };
+  auto main = [&]() -> sim::Task<void> {
+    for (u32 i = 0; i < kNodes; ++i) sim::Engine::current()->spawn(node_main(i));
+    co_await done.arrive_and_wait();
+  };
+  eng.run(main());
+  for (double t : times) EXPECT_GT(t, 0.05);
+}
+
+}  // namespace
+}  // namespace xemem::workloads

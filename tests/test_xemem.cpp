@@ -1,0 +1,561 @@
+// Integration tests for the XEMEM protocol: enclave registration and
+// routing over multi-level topologies, the full XPMEM API life cycle with
+// real data through real mappings, local fault semantics, error paths, and
+// leak-freedom under randomized attach/detach storms.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/units.hpp"
+#include "xemem/system.hpp"
+
+// gtest ASSERT_* macros issue a plain `return;`, which is illegal inside a
+// coroutine — use this instead to record the failure and co_return.
+#define CO_ASSERT_TRUE(x)                             \
+  do {                                                \
+    if (!(x)) {                                       \
+      ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #x;  \
+      co_return;                                      \
+    }                                                 \
+  } while (0)
+
+namespace xemem {
+namespace {
+
+// Standard two-enclave topology on the paper's R420 box: Linux management
+// enclave (name server, service core 0) + one Kitten co-kernel.
+struct TwoEnclaveFixture {
+  sim::Engine eng{42};
+  Node node{hw::Machine::r420()};
+  XememKernel* mgmt{};
+  XememKernel* kitten{};
+
+  TwoEnclaveFixture() {
+    mgmt = &node.add_linux_mgmt("linux", 0, {0, 1, 2, 3, 4, 5});
+    kitten = &node.add_cokernel("kitten0", 0, {6, 7}, 2_GiB);
+  }
+};
+
+TEST(Registration, EnclavesGetUniqueIds) {
+  TwoEnclaveFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    EXPECT_EQ(f.mgmt->id().value(), 0u);
+    EXPECT_EQ(f.kitten->id().value(), 1u);
+  };
+  f.eng.run(main());
+}
+
+TEST(Registration, ManyEnclavesAllRegister) {
+  sim::Engine eng(7);
+  Node node(hw::Machine::r420());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  for (u32 i = 0; i < 8; ++i) {
+    node.add_cokernel("k" + std::to_string(i), i < 4 ? 0u : 1u,
+                      {4 + i}, 1_GiB);
+  }
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    std::set<u64> ids;
+    ids.insert(node.kernel("linux").id().value());
+    for (u32 i = 0; i < 8; ++i) ids.insert(node.kernel("k" + std::to_string(i)).id().value());
+    EXPECT_EQ(ids.size(), 9u) << "enclave ids must be unique";
+  };
+  eng.run(main());
+}
+
+TEST(Registration, VmBehindCokernelLearnsRouteThroughHierarchy) {
+  // Figure 2's nesting: name server <-> co-kernel <-> VM. The co-kernel
+  // must learn the VM's enclave id as the allocation response passes
+  // through it (paper section 3.2).
+  sim::Engine eng(11);
+  Node node(hw::Machine::r420());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  node.add_cokernel("kitten0", 0, {4, 5, 6}, 4_GiB);
+  node.add_vm("vm0", "kitten0", 1_GiB, {5});
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    EXPECT_TRUE(node.kernel("vm0").id().valid());
+    EXPECT_GE(node.kernel("kitten0").known_routes(), 1u)
+        << "intermediate must have learned the VM's route";
+  };
+  eng.run(main());
+}
+
+TEST(XpmemApi, FullLifecycleKittenToLinux) {
+  TwoEnclaveFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto& kitten_os = f.node.enclave("kitten0");
+    auto& linux_os = f.node.enclave("linux");
+    os::Process* exporter = kitten_os.create_process(64_MiB).value();
+    os::Process* attacher = linux_os.create_process(16_MiB).value();
+
+    // Exporter writes a recognizable pattern into its region.
+    std::vector<u8> pattern(2 * kPageSize);
+    for (size_t i = 0; i < pattern.size(); ++i) pattern[i] = static_cast<u8>(i * 13);
+    CO_ASSERT_TRUE(kitten_os.proc_write(*exporter, exporter->image_base(),
+                                     pattern.data(), pattern.size())
+                    .ok());
+
+    auto segid = co_await f.kitten->xpmem_make(*exporter, exporter->image_base(),
+                                               64_MiB, "sim-data");
+    CO_ASSERT_TRUE(segid.ok());
+
+    auto grant = co_await f.mgmt->xpmem_get(segid.value());
+    CO_ASSERT_TRUE(grant.ok());
+    EXPECT_EQ(grant.value().size, 64_MiB);
+
+    auto att = co_await f.mgmt->xpmem_attach(*attacher, grant.value(), 0, 64_MiB);
+    CO_ASSERT_TRUE(att.ok());
+    EXPECT_FALSE(att.value().local);
+    EXPECT_GT(f.kitten->pinned_frames(), 0u);
+
+    // The attacher reads the exporter's pattern through its own mapping.
+    std::vector<u8> got(pattern.size());
+    CO_ASSERT_TRUE(
+        linux_os.proc_read(*attacher, att.value().va, got.data(), got.size()).ok());
+    EXPECT_EQ(got, pattern);
+
+    // Writes propagate back (zero-copy sharing, not a copy).
+    const char msg[] = "written-by-attacher";
+    CO_ASSERT_TRUE(linux_os.proc_write(*attacher, att.value().va + kPageSize, msg,
+                                    sizeof(msg))
+                    .ok());
+    char back[sizeof(msg)] = {};
+    CO_ASSERT_TRUE(kitten_os.proc_read(*exporter, exporter->image_base() + kPageSize,
+                                    back, sizeof(msg))
+                    .ok());
+    EXPECT_STREQ(back, msg);
+
+    // Remove while attached must fail busy.
+    auto rm = co_await f.kitten->xpmem_remove(*exporter, segid.value());
+    EXPECT_EQ(rm.error(), Errc::busy);
+
+    CO_ASSERT_TRUE((co_await f.mgmt->xpmem_detach(*attacher, att.value())).ok());
+    EXPECT_EQ(f.kitten->pinned_frames(), 0u);
+    CO_ASSERT_TRUE((co_await f.kitten->xpmem_remove(*exporter, segid.value())).ok());
+    EXPECT_EQ(f.node.machine().pmem().total_refs(), 0u);
+  };
+  f.eng.run(main());
+}
+
+TEST(XpmemApi, SubRangeAttachmentWithOffset) {
+  TwoEnclaveFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto& kitten_os = f.node.enclave("kitten0");
+    auto& linux_os = f.node.enclave("linux");
+    os::Process* exporter = kitten_os.create_process(8_MiB).value();
+    os::Process* attacher = linux_os.create_process(1_MiB).value();
+
+    const u64 marker_off = 5 * kPageSize;
+    const u64 marker = 0xdeadbeefcafef00dull;
+    CO_ASSERT_TRUE(kitten_os.proc_write(*exporter, exporter->image_base() + marker_off,
+                                     &marker, sizeof(marker))
+                    .ok());
+
+    auto segid =
+        co_await f.kitten->xpmem_make(*exporter, exporter->image_base(), 8_MiB);
+    auto grant = co_await f.mgmt->xpmem_get(segid.value());
+    // Attach only pages [4, 8).
+    auto att = co_await f.mgmt->xpmem_attach(*attacher, grant.value(),
+                                             4 * kPageSize, 4 * kPageSize);
+    CO_ASSERT_TRUE(att.ok());
+    u64 got = 0;
+    CO_ASSERT_TRUE(linux_os.proc_read(*attacher, att.value().va + kPageSize, &got,
+                                   sizeof(got))
+                    .ok());
+    EXPECT_EQ(got, marker);
+
+    // Out-of-range attach rejected.
+    auto bad = co_await f.mgmt->xpmem_attach(*attacher, grant.value(), 6_MiB, 4_MiB);
+    EXPECT_EQ(bad.error(), Errc::invalid_argument);
+    CO_ASSERT_TRUE((co_await f.mgmt->xpmem_detach(*attacher, att.value())).ok());
+  };
+  f.eng.run(main());
+}
+
+TEST(XpmemApi, ByteGranularAttachOffsets) {
+  // XPMEM permits unaligned offsets: the mapping covers whole pages but
+  // the returned address points at the requested byte.
+  TwoEnclaveFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto& kitten_os = f.node.enclave("kitten0");
+    auto& linux_os = f.node.enclave("linux");
+    os::Process* exporter = kitten_os.create_process(1_MiB).value();
+    os::Process* attacher = linux_os.create_process(1_MiB).value();
+
+    const u64 odd_off = 3 * kPageSize + 123;
+    const u64 marker = 0xB17E5;
+    CO_ASSERT_TRUE(kitten_os
+                       .proc_write(*exporter, exporter->image_base() + odd_off,
+                                   &marker, sizeof(marker))
+                       .ok());
+    auto sid = co_await f.kitten->xpmem_make(*exporter, exporter->image_base(),
+                                             1_MiB);
+    auto grant = co_await f.mgmt->xpmem_get(sid.value());
+    // Request 100 bytes at the unaligned offset.
+    auto att = co_await f.mgmt->xpmem_attach(*attacher, grant.value(), odd_off, 100);
+    CO_ASSERT_TRUE(att.ok());
+    EXPECT_EQ(att.value().va - att.value().map_base, 123u);
+    EXPECT_EQ(att.value().pages, 1u) << "100 bytes at +123 fits one page";
+    u64 got = 0;
+    CO_ASSERT_TRUE(
+        linux_os.proc_read(*attacher, att.value().va, &got, sizeof(got)).ok());
+    EXPECT_EQ(got, marker);
+
+    // A request spanning a page boundary maps two pages.
+    auto att2 = co_await f.mgmt->xpmem_attach(*attacher, grant.value(),
+                                              kPageSize - 8, 16);
+    CO_ASSERT_TRUE(att2.ok());
+    EXPECT_EQ(att2.value().pages, 2u);
+
+    CO_ASSERT_TRUE((co_await f.mgmt->xpmem_detach(*attacher, att.value())).ok());
+    CO_ASSERT_TRUE((co_await f.mgmt->xpmem_detach(*attacher, att2.value())).ok());
+    EXPECT_EQ(f.node.machine().pmem().total_refs(), 0u);
+  };
+  f.eng.run(main());
+}
+
+TEST(XpmemApi, LocalLinuxAttachUsesFaultSemantics) {
+  sim::Engine eng(3);
+  Node node(hw::Machine::optiplex());
+  auto& k = node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    auto* lin = static_cast<os::LinuxEnclave*>(&node.enclave("linux"));
+    os::Process* a = lin->create_process(8_MiB).value();
+    os::Process* b = lin->create_process(1_MiB).value();
+
+    auto segid = co_await k.xpmem_make(*a, a->image_base(), 8_MiB);
+    auto grant = co_await k.xpmem_get(segid.value());
+    auto att = co_await k.xpmem_attach(*b, grant.value(), 0, 8_MiB);
+    CO_ASSERT_TRUE(att.ok());
+    EXPECT_TRUE(att.value().local);
+    EXPECT_EQ(lin->pending_fault_pages(), 2048u)
+        << "local Linux attach defers mapping to first touch (section 6.4)";
+
+    const u64 t0 = sim::now();
+    co_await lin->touch_attached(*b, att.value().va, 2048);
+    const u64 fault_time = sim::now() - t0;
+    EXPECT_EQ(lin->pending_fault_pages(), 0u);
+    EXPECT_GT(fault_time, 2048 * 600) << "per-page fault cost must be charged";
+
+    // After faulting, data is visible.
+    u64 marker = 77;
+    CO_ASSERT_TRUE(lin->proc_write(*a, a->image_base(), &marker, sizeof(marker)).ok());
+    u64 got = 0;
+    CO_ASSERT_TRUE(lin->proc_read(*b, att.value().va, &got, sizeof(got)).ok());
+    EXPECT_EQ(got, marker);
+    CO_ASSERT_TRUE((co_await k.xpmem_detach(*b, att.value())).ok());
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u);
+  };
+  eng.run(main());
+}
+
+TEST(XpmemApi, VmAttachesKittenExportThroughLinuxHost) {
+  // Table 2 row 2 topology: Kitten exports, a Linux VM (on the Linux
+  // management host) attaches. Data must arrive intact through guest page
+  // tables + Palacios memory map + host routing.
+  sim::Engine eng(5);
+  Node node(hw::Machine::r420());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  node.add_cokernel("kitten0", 0, {6, 7}, 2_GiB);
+  node.add_vm("vm0", "linux", 1_GiB, {4, 5});
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    auto& kitten_os = node.enclave("kitten0");
+    auto& vm_os = node.enclave("vm0");
+    os::Process* exporter = kitten_os.create_process(16_MiB).value();
+    os::Process* attacher = vm_os.create_process(4_MiB).value();
+
+    u64 marker = 0x5151515151515151ull;
+    CO_ASSERT_TRUE(kitten_os
+                    .proc_write(*exporter, exporter->image_base() + 3 * kPageSize,
+                                &marker, sizeof(marker))
+                    .ok());
+
+    auto segid = co_await node.kernel("kitten0").xpmem_make(
+        *exporter, exporter->image_base(), 16_MiB);
+    CO_ASSERT_TRUE(segid.ok());
+    auto grant = co_await node.kernel("vm0").xpmem_get(segid.value());
+    CO_ASSERT_TRUE(grant.ok());
+    auto att =
+        co_await node.kernel("vm0").xpmem_attach(*attacher, grant.value(), 0, 16_MiB);
+    CO_ASSERT_TRUE(att.ok());
+
+    u64 got = 0;
+    CO_ASSERT_TRUE(
+        vm_os.proc_read(*attacher, att.value().va + 3 * kPageSize, &got, sizeof(got))
+            .ok());
+    EXPECT_EQ(got, marker);
+
+    CO_ASSERT_TRUE((co_await node.kernel("vm0").xpmem_detach(*attacher, att.value())).ok());
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u);
+  };
+  eng.run(main());
+}
+
+TEST(XpmemApi, KittenAttachesVmExport) {
+  // Table 2 row 3 topology: a Linux VM exports, native Kitten attaches.
+  sim::Engine eng(6);
+  Node node(hw::Machine::r420());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  node.add_cokernel("kitten0", 0, {6, 7}, 2_GiB);
+  node.add_vm("vm0", "linux", 1_GiB, {4, 5});
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    auto& vm_os = node.enclave("vm0");
+    auto& kitten_os = node.enclave("kitten0");
+    os::Process* exporter = vm_os.create_process(16_MiB).value();
+    os::Process* attacher = kitten_os.create_process(4_MiB).value();
+
+    u64 marker = 0xabcdabcdabcdabcdull;
+    CO_ASSERT_TRUE(
+        vm_os.proc_write(*exporter, exporter->image_base(), &marker, sizeof(marker))
+            .ok());
+
+    auto segid = co_await node.kernel("vm0").xpmem_make(*exporter,
+                                                        exporter->image_base(), 16_MiB);
+    CO_ASSERT_TRUE(segid.ok());
+    auto grant = co_await node.kernel("kitten0").xpmem_get(segid.value());
+    auto att = co_await node.kernel("kitten0").xpmem_attach(*attacher, grant.value(),
+                                                            0, 16_MiB);
+    CO_ASSERT_TRUE(att.ok());
+
+    u64 got = 0;
+    CO_ASSERT_TRUE(kitten_os.proc_read(*attacher, att.value().va, &got, sizeof(got)).ok());
+    EXPECT_EQ(got, marker);
+    CO_ASSERT_TRUE(
+        (co_await node.kernel("kitten0").xpmem_detach(*attacher, att.value())).ok());
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u);
+  };
+  eng.run(main());
+}
+
+TEST(XpmemApi, Discoverability) {
+  TwoEnclaveFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto& kitten_os = f.node.enclave("kitten0");
+    os::Process* p = kitten_os.create_process(4_MiB).value();
+    auto segid = co_await f.kitten->xpmem_make(*p, p->image_base(), 4_MiB,
+                                               "checkpoint-buffer");
+    CO_ASSERT_TRUE(segid.ok());
+
+    auto found = co_await f.mgmt->xpmem_search("checkpoint-buffer");
+    CO_ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), segid.value());
+
+    auto missing = co_await f.mgmt->xpmem_search("nonexistent");
+    EXPECT_EQ(missing.error(), Errc::no_such_segid);
+
+    // Duplicate published names are rejected.
+    auto dup = co_await f.kitten->xpmem_make(*p, p->image_base(), 4_MiB,
+                                             "checkpoint-buffer");
+    EXPECT_EQ(dup.error(), Errc::already_exists);
+
+    // After removal the name is gone.
+    CO_ASSERT_TRUE((co_await f.kitten->xpmem_remove(*p, segid.value())).ok());
+    auto gone = co_await f.mgmt->xpmem_search("checkpoint-buffer");
+    EXPECT_EQ(gone.error(), Errc::no_such_segid);
+  };
+  f.eng.run(main());
+}
+
+TEST(XpmemApi, ErrorPaths) {
+  TwoEnclaveFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto& linux_os = f.node.enclave("linux");
+    os::Process* p = linux_os.create_process(1_MiB).value();
+
+    // Unknown segid.
+    auto g = co_await f.mgmt->xpmem_get(Segid{9999});
+    EXPECT_EQ(g.error(), Errc::no_such_segid);
+
+    // Invalid grant.
+    auto att = co_await f.mgmt->xpmem_attach(*p, XpmemGrant{}, 0, kPageSize);
+    EXPECT_EQ(att.error(), Errc::invalid_argument);
+
+    // Misaligned make.
+    auto mk = co_await f.mgmt->xpmem_make(*p, p->image_base() + 3, kPageSize);
+    EXPECT_EQ(mk.error(), Errc::invalid_argument);
+
+    // Remove of someone else's segid.
+    os::Process* q = linux_os.create_process(1_MiB).value();
+    auto sid = co_await f.mgmt->xpmem_make(*p, p->image_base(), 1_MiB);
+    CO_ASSERT_TRUE(sid.ok());
+    auto rm = co_await f.mgmt->xpmem_remove(*q, sid.value());
+    EXPECT_EQ(rm.error(), Errc::permission_denied);
+
+    // Double detach.
+    auto grant = co_await f.mgmt->xpmem_get(sid.value());
+    auto a2 = co_await f.mgmt->xpmem_attach(*q, grant.value(), 0, 1_MiB);
+    CO_ASSERT_TRUE(a2.ok());
+    co_await f.node.enclave("linux").touch_attached(*q, a2.value().va,
+                                                    a2.value().pages);
+    CO_ASSERT_TRUE((co_await f.mgmt->xpmem_detach(*q, a2.value())).ok());
+    auto again = co_await f.mgmt->xpmem_detach(*q, a2.value());
+    EXPECT_FALSE(again.ok());
+  };
+  f.eng.run(main());
+}
+
+TEST(XpmemApi, AttachTimingMatchesCalibration) {
+  // Calibration smoke test: a 64 MiB Kitten->Linux attach should cost
+  // ~5 ms simulated (the Figure 5 path scaled down from ~78 ms per GiB).
+  TwoEnclaveFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto& kitten_os = f.node.enclave("kitten0");
+    auto& linux_os = f.node.enclave("linux");
+    os::Process* exporter = kitten_os.create_process(64_MiB).value();
+    os::Process* attacher = linux_os.create_process(1_MiB, &f.node.machine().core(2))
+                                .value();
+    auto segid =
+        co_await f.kitten->xpmem_make(*exporter, exporter->image_base(), 64_MiB);
+    auto grant = co_await f.mgmt->xpmem_get(segid.value());
+
+    const u64 t0 = sim::now();
+    auto att = co_await f.mgmt->xpmem_attach(*attacher, grant.value(), 0, 64_MiB);
+    const double ms = ns_to_s(sim::now() - t0) * 1e3;
+    CO_ASSERT_TRUE(att.ok());
+    EXPECT_GT(ms, 3.0);
+    EXPECT_LT(ms, 8.0);
+    CO_ASSERT_TRUE((co_await f.mgmt->xpmem_detach(*attacher, att.value())).ok());
+  };
+  f.eng.run(main());
+}
+
+TEST(XpmemApi, ArbitraryCommunicationModels) {
+  // Paper section 5.3: "although we chose a 1:1 communication model for
+  // this experiment, any arbitrary model is supported". Exercise N:1 (many
+  // attachers on one export) and 1:N (one process attaching many exports).
+  sim::Engine eng(99);
+  Node node(hw::Machine::r420());
+  auto& mgmt = node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  for (int i = 0; i < 3; ++i) {
+    node.add_cokernel("k" + std::to_string(i), 0, {6u + static_cast<u32>(i)}, 128_MiB);
+  }
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+
+    // N:1 — one Kitten export, three Linux attachers concurrently mapped.
+    os::Process* owner = node.enclave("k0").create_process(8_MiB).value();
+    const u64 marker = 0xA110;
+    auto sid = co_await node.kernel("k0").xpmem_make(*owner, owner->image_base(),
+                                                     8_MiB);
+    CO_ASSERT_TRUE(sid.ok());
+    CO_ASSERT_TRUE(
+        node.enclave("k0").proc_write(*owner, owner->image_base(), &marker, 8).ok());
+    std::vector<os::Process*> users;
+    std::vector<XpmemAttachment> atts;
+    for (int i = 0; i < 3; ++i) {
+      users.push_back(node.enclave("linux").create_process(1_MiB).value());
+      auto grant = co_await mgmt.xpmem_get(sid.value());
+      auto att = co_await mgmt.xpmem_attach(*users[i], grant.value(), 0, 8_MiB);
+      CO_ASSERT_TRUE(att.ok());
+      atts.push_back(att.value());
+      co_await node.enclave("linux").touch_attached(*users[i], att.value().va, 1);
+      u64 got = 0;
+      CO_ASSERT_TRUE(
+          node.enclave("linux").proc_read(*users[i], att.value().va, &got, 8).ok());
+      EXPECT_EQ(got, marker);
+    }
+    // The owner's frames carry one pin per attacher.
+    EXPECT_EQ(node.machine().pmem().refcount(
+                  owner->pt().lookup(owner->image_base())->pfn),
+              3u);
+    for (int i = 0; i < 3; ++i) {
+      CO_ASSERT_TRUE((co_await mgmt.xpmem_detach(*users[i], atts[i])).ok());
+    }
+
+    // 1:N — one Linux process attached to three different enclaves' exports.
+    os::Process* hub = node.enclave("linux").create_process(1_MiB).value();
+    for (int i = 0; i < 3; ++i) {
+      const std::string k = "k" + std::to_string(i);
+      os::Process* p = node.enclave(k).create_process(2_MiB).value();
+      const u64 tag = 1000 + static_cast<u64>(i);
+      CO_ASSERT_TRUE(node.enclave(k).proc_write(*p, p->image_base(), &tag, 8).ok());
+      auto s = co_await node.kernel(k).xpmem_make(*p, p->image_base(), 2_MiB);
+      auto g = co_await mgmt.xpmem_get(s.value());
+      auto a = co_await mgmt.xpmem_attach(*hub, g.value(), 0, 2_MiB);
+      CO_ASSERT_TRUE(a.ok());
+      co_await node.enclave("linux").touch_attached(*hub, a.value().va, 1);
+      u64 got = 0;
+      CO_ASSERT_TRUE(node.enclave("linux").proc_read(*hub, a.value().va, &got, 8).ok());
+      EXPECT_EQ(got, tag);
+      CO_ASSERT_TRUE((co_await mgmt.xpmem_detach(*hub, a.value())).ok());
+    }
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u);
+  };
+  eng.run(main());
+}
+
+TEST(XpmemProperty, RandomAttachDetachStormIsLeakFree) {
+  sim::Engine eng(1234);
+  Node node(hw::Machine::r420());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  node.add_cokernel("k0", 0, {6, 7}, 2_GiB);
+  node.add_cokernel("k1", 1, {12, 13}, 2_GiB);
+  node.add_vm("vm0", "linux", 512_MiB, {4});
+
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    Rng rng(9);
+    const char* names[] = {"linux", "k0", "k1", "vm0"};
+    std::vector<os::Process*> procs;
+    std::vector<XememKernel*> proc_kernel;
+    for (const char* n : names) {
+      procs.push_back(node.enclave(n).create_process(8_MiB).value());
+      proc_kernel.push_back(&node.kernel(n));
+    }
+    // Everyone exports; random cross pairs attach and detach.
+    std::vector<Segid> segids;
+    for (size_t i = 0; i < procs.size(); ++i) {
+      auto sid = co_await proc_kernel[i]->xpmem_make(*procs[i],
+                                                     procs[i]->image_base(), 8_MiB);
+      CO_ASSERT_TRUE(sid.ok());
+      segids.push_back(sid.value());
+    }
+    struct Live {
+      size_t who;
+      XpmemAttachment att;
+    };
+    std::vector<Live> live;
+    for (int step = 0; step < 120; ++step) {
+      if (live.empty() || rng.uniform() < 0.6) {
+        const size_t owner = rng.uniform_u64(procs.size());
+        const size_t who = rng.uniform_u64(procs.size());
+        auto grant = co_await proc_kernel[who]->xpmem_get(segids[owner]);
+        CO_ASSERT_TRUE(grant.ok());
+        const u64 pages = 1 + rng.uniform_u64(512);
+        auto att = co_await proc_kernel[who]->xpmem_attach(
+            *procs[who], grant.value(), 0, pages * kPageSize);
+        CO_ASSERT_TRUE(att.ok());
+        live.push_back(Live{who, att.value()});
+      } else {
+        const size_t idx = rng.uniform_u64(live.size());
+        auto r = co_await proc_kernel[live[idx].who]->xpmem_detach(
+            *procs[live[idx].who], live[idx].att);
+        CO_ASSERT_TRUE(r.ok());
+        live.erase(live.begin() + static_cast<long>(idx));
+      }
+    }
+    for (auto& l : live) {
+      CO_ASSERT_TRUE(
+          (co_await proc_kernel[l.who]->xpmem_detach(*procs[l.who], l.att)).ok());
+    }
+    for (size_t i = 0; i < procs.size(); ++i) {
+      CO_ASSERT_TRUE((co_await proc_kernel[i]->xpmem_remove(*procs[i], segids[i])).ok());
+    }
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u);
+  };
+  eng.run(main());
+}
+
+}  // namespace
+}  // namespace xemem
