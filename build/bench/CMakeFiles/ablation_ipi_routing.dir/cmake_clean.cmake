@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ipi_routing.dir/ablation_ipi_routing.cpp.o"
+  "CMakeFiles/ablation_ipi_routing.dir/ablation_ipi_routing.cpp.o.d"
+  "ablation_ipi_routing"
+  "ablation_ipi_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ipi_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

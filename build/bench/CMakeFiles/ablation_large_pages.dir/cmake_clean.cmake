@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_large_pages.dir/ablation_large_pages.cpp.o"
+  "CMakeFiles/ablation_large_pages.dir/ablation_large_pages.cpp.o.d"
+  "ablation_large_pages"
+  "ablation_large_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_large_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memory_map.dir/ablation_memory_map.cpp.o"
+  "CMakeFiles/ablation_memory_map.dir/ablation_memory_map.cpp.o.d"
+  "ablation_memory_map"
+  "ablation_memory_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

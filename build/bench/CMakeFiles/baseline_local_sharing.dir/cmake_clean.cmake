@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_local_sharing.dir/baseline_local_sharing.cpp.o"
+  "CMakeFiles/baseline_local_sharing.dir/baseline_local_sharing.cpp.o.d"
+  "baseline_local_sharing"
+  "baseline_local_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_local_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_attach_vs_rdma.dir/fig5_attach_vs_rdma.cpp.o"
+  "CMakeFiles/fig5_attach_vs_rdma.dir/fig5_attach_vs_rdma.cpp.o.d"
+  "fig5_attach_vs_rdma"
+  "fig5_attach_vs_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_attach_vs_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

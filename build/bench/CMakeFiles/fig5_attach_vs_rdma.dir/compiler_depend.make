@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_attach_vs_rdma.
+# This may be replaced when dependencies are built.

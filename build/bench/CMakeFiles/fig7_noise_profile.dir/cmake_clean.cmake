@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_noise_profile.dir/fig7_noise_profile.cpp.o"
+  "CMakeFiles/fig7_noise_profile.dir/fig7_noise_profile.cpp.o.d"
+  "fig7_noise_profile"
+  "fig7_noise_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_noise_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

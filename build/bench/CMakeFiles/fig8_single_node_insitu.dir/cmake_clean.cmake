@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_single_node_insitu.dir/fig8_single_node_insitu.cpp.o"
+  "CMakeFiles/fig8_single_node_insitu.dir/fig8_single_node_insitu.cpp.o.d"
+  "fig8_single_node_insitu"
+  "fig8_single_node_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_single_node_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

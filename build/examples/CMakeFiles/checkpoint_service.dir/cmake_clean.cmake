@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_service.dir/checkpoint_service.cpp.o"
+  "CMakeFiles/checkpoint_service.dir/checkpoint_service.cpp.o.d"
+  "checkpoint_service"
+  "checkpoint_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

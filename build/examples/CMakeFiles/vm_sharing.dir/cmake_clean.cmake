@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_sharing.dir/vm_sharing.cpp.o"
+  "CMakeFiles/vm_sharing.dir/vm_sharing.cpp.o.d"
+  "vm_sharing"
+  "vm_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xemem_hw.dir/phys_mem.cpp.o"
+  "CMakeFiles/xemem_hw.dir/phys_mem.cpp.o.d"
+  "libxemem_hw.a"
+  "libxemem_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xemem_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xemem_mm.dir/page_table.cpp.o"
+  "CMakeFiles/xemem_mm.dir/page_table.cpp.o.d"
+  "libxemem_mm.a"
+  "libxemem_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xemem_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

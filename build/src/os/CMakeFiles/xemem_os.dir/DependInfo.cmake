@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/enclave.cpp" "src/os/CMakeFiles/xemem_os.dir/enclave.cpp.o" "gcc" "src/os/CMakeFiles/xemem_os.dir/enclave.cpp.o.d"
+  "/root/repo/src/os/guest_linux.cpp" "src/os/CMakeFiles/xemem_os.dir/guest_linux.cpp.o" "gcc" "src/os/CMakeFiles/xemem_os.dir/guest_linux.cpp.o.d"
+  "/root/repo/src/os/kitten.cpp" "src/os/CMakeFiles/xemem_os.dir/kitten.cpp.o" "gcc" "src/os/CMakeFiles/xemem_os.dir/kitten.cpp.o.d"
+  "/root/repo/src/os/linux.cpp" "src/os/CMakeFiles/xemem_os.dir/linux.cpp.o" "gcc" "src/os/CMakeFiles/xemem_os.dir/linux.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/xemem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/xemem_mm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xemem_os.dir/enclave.cpp.o"
+  "CMakeFiles/xemem_os.dir/enclave.cpp.o.d"
+  "CMakeFiles/xemem_os.dir/guest_linux.cpp.o"
+  "CMakeFiles/xemem_os.dir/guest_linux.cpp.o.d"
+  "CMakeFiles/xemem_os.dir/kitten.cpp.o"
+  "CMakeFiles/xemem_os.dir/kitten.cpp.o.d"
+  "CMakeFiles/xemem_os.dir/linux.cpp.o"
+  "CMakeFiles/xemem_os.dir/linux.cpp.o.d"
+  "libxemem_os.a"
+  "libxemem_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xemem_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

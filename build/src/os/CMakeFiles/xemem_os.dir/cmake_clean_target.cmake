@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxemem_os.a"
+)

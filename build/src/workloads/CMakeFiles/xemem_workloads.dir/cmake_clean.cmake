@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xemem_workloads.dir/hpccg.cpp.o"
+  "CMakeFiles/xemem_workloads.dir/hpccg.cpp.o.d"
+  "CMakeFiles/xemem_workloads.dir/insitu.cpp.o"
+  "CMakeFiles/xemem_workloads.dir/insitu.cpp.o.d"
+  "libxemem_workloads.a"
+  "libxemem_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xemem_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

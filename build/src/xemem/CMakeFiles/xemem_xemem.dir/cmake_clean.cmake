@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xemem_xemem.dir/kernel.cpp.o"
+  "CMakeFiles/xemem_xemem.dir/kernel.cpp.o.d"
+  "libxemem_xemem.a"
+  "libxemem_xemem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xemem_xemem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

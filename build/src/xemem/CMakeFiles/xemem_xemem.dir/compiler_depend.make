@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xemem_xemem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knem.dir/test_knem.cpp.o"
+  "CMakeFiles/test_knem.dir/test_knem.cpp.o.d"
+  "test_knem"
+  "test_knem.pdb"
+  "test_knem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/test_net.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/test_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/xemem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/xemem_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/xemem_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/xemem/CMakeFiles/xemem_xemem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xemem_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_palacios.dir/test_palacios.cpp.o"
+  "CMakeFiles/test_palacios.dir/test_palacios.cpp.o.d"
+  "test_palacios"
+  "test_palacios.pdb"
+  "test_palacios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_palacios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permissions.dir/test_permissions.cpp.o"
+  "CMakeFiles/test_permissions.dir/test_permissions.cpp.o.d"
+  "test_permissions"
+  "test_permissions.pdb"
+  "test_permissions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xemem.dir/test_xemem.cpp.o"
+  "CMakeFiles/test_xemem.dir/test_xemem.cpp.o.d"
+  "test_xemem"
+  "test_xemem.pdb"
+  "test_xemem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xemem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
