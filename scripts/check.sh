@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full local gate: tier-1 build + tests, then the same suite under
+# AddressSanitizer/UBSan (catches lifetime bugs the coroutine-heavy
+# simulator is prone to). Usage: scripts/check.sh [--asan-only|--fast]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+asan_only=0
+case "${1:-}" in
+  --fast) fast=1 ;;
+  --asan-only) asan_only=1 ;;
+  "") ;;
+  *) echo "usage: $0 [--asan-only|--fast]" >&2; exit 2 ;;
+esac
+
+if [[ $asan_only -eq 0 ]]; then
+  echo "== tier-1: RelWithDebInfo build + ctest =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi
+
+if [[ $fast -eq 0 ]]; then
+  echo "== sanitizers: asan+ubsan build + ctest =="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j
+  ctest --preset asan -j "$(nproc)"
+fi
+
+echo "all checks passed"

@@ -81,6 +81,12 @@ class PiscesManager {
         XEMEM_ASSERT_MSG((*it)->zone->free_frames() == (*it)->zone->total_frames(),
                          "co-kernel shut down with live allocations");
         machine_.zone((*it)->socket).free((*it)->carve);
+        // The management kernel's service loop for this channel is still a
+        // suspended coroutine parked on the endpoint's inbox (there is no
+        // way to cancel a parked receiver). Retire the channel instead of
+        // destroying it: no sender remains, so the loop stays dormant, and
+        // the endpoints are reclaimed with the manager.
+        retired_channels_.push_back(std::move((*it)->channel));
         cokernels_.erase(it);
         return;
       }
@@ -103,6 +109,7 @@ class PiscesManager {
   hw::Machine& machine_;
   os::LinuxEnclave& mgmt_;
   std::vector<std::unique_ptr<Slot>> cokernels_;
+  std::vector<ChannelPair> retired_channels_;  // see shutdown_cokernel
 };
 
 }  // namespace xemem::pisces

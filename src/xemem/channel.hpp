@@ -28,8 +28,10 @@ class ChannelEndpoint {
   /// transport duration; on completion the message is in the peer's inbox.
   virtual sim::Task<void> send(Message msg) = 0;
 
-  /// Messages delivered by the peer.
-  sim::Mailbox<Message>& inbox() { return inbox_; }
+  /// Messages delivered by the peer. Virtual so decorators (FaultyEndpoint)
+  /// can alias their inner transport's inbox: the decorated pair delivers
+  /// through the real transport, and the service loop reads one queue.
+  virtual sim::Mailbox<Message>& inbox() { return inbox_; }
 
   /// Diagnostics.
   u64 messages_sent() const { return sent_; }

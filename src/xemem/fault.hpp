@@ -1,0 +1,134 @@
+// Deterministic fault injection for cross-enclave channels.
+//
+// FaultyEndpoint decorates any concrete ChannelEndpoint (IPI, PCI) and
+// perturbs the message stream the way a flaky interconnect or an
+// overloaded handler core would: messages can be dropped, duplicated, or
+// held back (which both adds latency and lets later messages overtake —
+// reordering). A kill() switch models abrupt link death, after which
+// every send is swallowed.
+//
+// Every fault decision is drawn from a seeded Rng in send order, so a
+// fault schedule is a pure function of (engine seed, channel seed, send
+// sequence): identical runs inject identical faults, which keeps the
+// lossy-channel experiments bit-for-bit reproducible (see
+// Robustness.LossyExperimentIsDeterministicPerSeed).
+//
+// The decorator delivers through the inner transport, so transfer costs
+// (staging copies, IPIs, world switches) are still paid by the right
+// cores; inbox() aliases the inner endpoint's inbox so the destination
+// service loop is oblivious to the decoration.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "xemem/channel.hpp"
+
+namespace xemem {
+
+/// Per-direction fault probabilities. All default to zero (transparent).
+struct FaultSpec {
+  double drop{0.0};       ///< P(message silently lost)
+  double dup{0.0};        ///< P(message delivered twice)
+  double delay{0.0};      ///< P(message held back before transmission)
+  sim::Duration delay_min{5'000};    ///< held-back window lower bound (ns)
+  sim::Duration delay_max{100'000};  ///< held-back window upper bound (ns)
+
+  /// Uniform loss shorthand used by the benches/tests.
+  static FaultSpec loss(double p) {
+    FaultSpec s;
+    s.drop = p;
+    return s;
+  }
+};
+
+class FaultyEndpoint final : public ChannelEndpoint {
+ public:
+  FaultyEndpoint(ChannelEndpoint* inner, FaultSpec spec, Rng rng)
+      : inner_(inner), spec_(spec), rng_(rng) {}
+
+  sim::Mailbox<Message>& inbox() override { return inner_->inbox(); }
+
+  /// Abrupt link death: every subsequent send is swallowed. Models the
+  /// transport side of an enclave crash (the peer pays no handler cost
+  /// and sees nothing).
+  void kill() { dead_ = true; }
+  void revive() { dead_ = false; }
+  bool dead() const { return dead_; }
+
+  /// Injection counters, for tests and the fault-recovery ablation.
+  struct FaultStats {
+    u64 dropped{0};
+    u64 duplicated{0};
+    u64 delayed{0};
+    u64 passed{0};
+  };
+  const FaultStats& fault_stats() const { return fstats_; }
+
+  sim::Task<void> send(Message msg) override {
+    account(msg);
+    if (dead_) {
+      ++fstats_.dropped;
+      co_return;
+    }
+    // Draw every decision up front so the consumed Rng stream per send is
+    // fixed regardless of which faults fire (schedule determinism).
+    const bool drop = rng_.uniform() < spec_.drop;
+    const bool dup = rng_.uniform() < spec_.dup;
+    const bool hold = rng_.uniform() < spec_.delay;
+    const sim::Duration held =
+        spec_.delay_min +
+        (spec_.delay_max > spec_.delay_min
+             ? rng_.uniform_u64(spec_.delay_max - spec_.delay_min)
+             : 0);
+    if (drop) {
+      ++fstats_.dropped;
+      co_return;
+    }
+    if (dup) {
+      ++fstats_.duplicated;
+      sim::Engine::current()->spawn(deliver(msg, held));
+    }
+    if (hold) {
+      ++fstats_.delayed;
+      // Held messages leave the sender immediately (the caller does not
+      // stall) but hit the wire late, so later sends can overtake them.
+      sim::Engine::current()->spawn(deliver(std::move(msg), held));
+      co_return;
+    }
+    ++fstats_.passed;
+    co_await inner_->send(std::move(msg));
+  }
+
+ private:
+  sim::Task<void> deliver(Message msg, sim::Duration after) {
+    co_await sim::delay(after);
+    if (dead_) co_return;
+    co_await inner_->send(std::move(msg));
+  }
+
+  ChannelEndpoint* inner_;
+  FaultSpec spec_;
+  Rng rng_;
+  bool dead_{false};
+  FaultStats fstats_;
+};
+
+/// Decorate both directions of a channel. The inner endpoints stay owned
+/// by their original owner; the returned pair replaces them wherever
+/// kernels register channels.
+struct FaultyChannelPair {
+  std::unique_ptr<FaultyEndpoint> a;
+  std::unique_ptr<FaultyEndpoint> b;
+};
+
+inline FaultyChannelPair wrap_faulty(ChannelEndpoint* inner_a,
+                                     ChannelEndpoint* inner_b,
+                                     const FaultSpec& spec, Rng& parent_rng) {
+  return FaultyChannelPair{
+      std::make_unique<FaultyEndpoint>(inner_a, spec, parent_rng.fork()),
+      std::make_unique<FaultyEndpoint>(inner_b, spec, parent_rng.fork())};
+}
+
+}  // namespace xemem

@@ -1,5 +1,7 @@
 #include "xemem/kernel.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "sim/engine.hpp"
 
@@ -12,8 +14,17 @@ namespace {
 u64 g_req_counter = 1;
 }  // namespace
 
-XememKernel::XememKernel(os::Enclave& os, bool is_name_server)
-    : os_(os), is_ns_(is_name_server) {}
+XememKernel::XememKernel(os::Enclave& os, bool is_name_server, KernelConfig cfg)
+    : os_(os), is_ns_(is_name_server), cfg_(cfg) {
+  if (cfg_.request_timeout == 0) cfg_.request_timeout = kRequestTimeout;
+  if (cfg_.ping_timeout == 0) cfg_.ping_timeout = kPingTimeout;
+  if (cfg_.heartbeat_period == 0) cfg_.heartbeat_period = cfg_.lease_duration / 3;
+  // A forwarder entry must outlive every legitimate retry of its request.
+  if (cfg_.fwd_ttl == 0) {
+    cfg_.fwd_ttl = 2 * (cfg_.request_timeout + cfg_.backoff_max);
+  }
+  if (cfg_.dedup_cache_cap == 0) cfg_.dedup_cache_cap = 1;
+}
 
 void XememKernel::add_channel(ChannelEndpoint* ep) {
   channels_.push_back(ep);
@@ -33,6 +44,29 @@ void XememKernel::start() {
   } else {
     eng->spawn(discovery());
   }
+  if (cfg_.lease_duration > 0) {
+    // Liveness machinery is opt-in (KernelConfig::lease_duration): these
+    // actors run for the kernel's whole lifetime, so enabling them makes
+    // Engine::run_until_idle() unsuitable for the enclosing experiment.
+    eng->spawn(is_ns_ ? lease_reaper() : heartbeat_actor());
+  }
+}
+
+void XememKernel::crash() {
+  XEMEM_ASSERT_MSG(!is_ns_, "the name-server enclave cannot crash");
+  if (crashed_) return;
+  crashed_ = true;
+  stopped_ = true;
+  // The dying OS's memory is reclaimed by the node: every frame pinned on
+  // behalf of attachers is released. Attachments in surviving enclaves
+  // keep their (now dangling) mappings until they detach, exactly like an
+  // abrupt peer death on real hardware.
+  for (auto& [h, rec] : pins_) unpin_frames(rec.frames);
+  pins_.clear();
+  exports_.clear();
+  pending_fwd_.clear();
+  fwd_log_.clear();
+  XLOG_WARN("xemem", "%s: enclave crashed (abrupt)", os_.name().c_str());
 }
 
 sim::Task<void> XememKernel::wait_registered() { co_await registered_.wait(); }
@@ -73,12 +107,16 @@ sim::Task<Result<void>> XememKernel::shutdown() {
 sim::Task<void> XememKernel::discovery() {
   // Paper section 3.2: broadcast on every channel until some neighbor
   // responds that it knows a path to the name server; then request an
-  // enclave ID through that channel.
+  // enclave ID through that channel. Probes are single-shot (retrying a
+  // probe on a dead link would only stall the sweep; the outer loop
+  // already re-probes every channel with backoff).
   while (ns_channel_ == nullptr) {
+    if (crashed_ || stopped_) co_return;
     for (auto* ep : channels_) {
       Message ping;
       ping.cmd = Cmd::ping_ns;
-      auto resp = co_await request(std::move(ping), ep, kPingTimeout);
+      auto resp =
+          co_await request(std::move(ping), ep, cfg_.ping_timeout, /*max_retries=*/0);
       if (resp.ok() && resp.value().status == Errc::ok) {
         ns_channel_ = ep;
         break;
@@ -86,6 +124,10 @@ sim::Task<void> XememKernel::discovery() {
     }
     if (ns_channel_ == nullptr) co_await sim::delay(200'000 /*200us backoff*/);
   }
+
+  // Re-discovery after a route loss keeps the already-allocated ID; only
+  // first-time registration allocates one.
+  if (id().valid()) co_return;
 
   Message alloc;
   alloc.cmd = Cmd::alloc_enclave_id;
@@ -97,6 +139,67 @@ sim::Task<void> XememKernel::discovery() {
   XLOG_DEBUG("xemem", "%s registered as enclave %llu", os_.name().c_str(),
              static_cast<unsigned long long>(id().value()));
   registered_.set();
+}
+
+// Lease renewal: while the enclave lives, the name server hears from it at
+// least every heartbeat_period (default lease_duration / 3), so a healthy
+// enclave is never garbage-collected even when it is otherwise idle.
+sim::Task<void> XememKernel::heartbeat_actor() {
+  co_await registered_.wait();
+  while (!stopped_ && !crashed_) {
+    Message hb;
+    hb.cmd = Cmd::heartbeat;
+    hb.dst = EnclaveId{0};
+    hb.src = id();
+    hb.req_id = g_req_counter++;
+    ChannelEndpoint* via = route_for(hb.dst);
+    if (via != nullptr) co_await via->send(std::move(hb));  // one-way
+    co_await sim::delay(cfg_.heartbeat_period);
+  }
+}
+
+// Name-server sweep: expire leases even when no traffic arrives (the lazy
+// sweep in ns_handle covers the common case, but a fully idle system must
+// still collect its dead).
+sim::Task<void> XememKernel::lease_reaper() {
+  while (!stopped_) {
+    co_await sim::delay(cfg_.heartbeat_period);
+    if (stopped_) co_return;
+    ns_gc_expired_leases();
+  }
+}
+
+void XememKernel::ns_touch_lease(EnclaveId e) {
+  if (cfg_.lease_duration == 0 || !e.valid() || e == EnclaveId{0}) return;
+  // Renew-only: an enclave whose lease already expired has been
+  // garbage-collected and must not be resurrected by stale traffic.
+  auto it = ns_leases_.find(e.value());
+  if (it != ns_leases_.end()) it->second = sim::now() + cfg_.lease_duration;
+}
+
+void XememKernel::ns_gc_expired_leases() {
+  if (cfg_.lease_duration == 0 || ns_leases_.empty()) return;
+  const sim::TimePoint t = sim::now();
+  std::vector<u64> dead;
+  for (const auto& [e, expiry] : ns_leases_) {
+    if (expiry <= t) dead.push_back(e);
+  }
+  for (u64 e : dead) {
+    ns_leases_.erase(e);
+    enclave_map_.erase(e);
+    for (auto it = ns_segids_.begin(); it != ns_segids_.end();) {
+      if (it->second.owner == EnclaveId{e}) {
+        if (!it->second.name.empty()) ns_names_.erase(it->second.name);
+        it = ns_segids_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ++stats_.leases_expired;
+    XLOG_WARN("xemem", "name server: lease of enclave %llu expired, "
+              "garbage-collected its segids/names/routes",
+              static_cast<unsigned long long>(e));
+  }
 }
 
 // ---------------------------------------------------------------- plumbing
@@ -132,25 +235,66 @@ sim::Task<void> XememKernel::timeout_actor(XememKernel* k, u64 rid,
   }
 }
 
-sim::Task<Result<Message>> XememKernel::request(Message msg, ChannelEndpoint* via,
-                                                sim::Duration timeout) {
+sim::Task<Result<Message>> XememKernel::request(Message msg, ChannelEndpoint* via_in,
+                                                sim::Duration timeout,
+                                                i32 max_retries) {
   msg.req_id = g_req_counter++;
   if (msg.src == EnclaveId::invalid()) msg.src = id();
   const u64 rid = msg.req_id;
-  if (via == nullptr) via = route_for(msg.dst);
-  if (via == nullptr) co_return Errc::unreachable;
-  if (timeout == 0) timeout = kRequestTimeout;
+  if (timeout == 0) timeout = cfg_.request_timeout;
+  const u32 retries =
+      max_retries < 0 ? cfg_.max_retries : static_cast<u32>(max_retries);
+  sim::Duration backoff = cfg_.backoff_base;
 
-  sim::Mailbox<Message> mb;
-  pending_resp_[rid] = &mb;
-  sim::Engine::current()->spawn(timeout_actor(this, rid, timeout));
-  co_await via->send(std::move(msg));
-  Message resp = co_await mb.recv();
-  pending_resp_.erase(rid);
-  if (resp.status == Errc::unreachable && resp.cmd == Cmd::ping_ns) {
-    co_return Errc::unreachable;  // expiry sentinel (default-constructed cmd)
+  for (u32 attempt = 0;; ++attempt) {
+    if (crashed_) co_return Errc::unreachable;
+    ChannelEndpoint* via = via_in != nullptr ? via_in : route_for(msg.dst);
+    if (via == nullptr) co_return Errc::unreachable;
+
+    sim::Mailbox<Message> mb;
+    pending_resp_[rid] = &mb;
+    sim::Engine::current()->spawn(timeout_actor(this, rid, timeout));
+    Message copy = msg;  // keep the original for retransmission
+    co_await via->send(std::move(copy));
+    Message resp = co_await mb.recv();
+    pending_resp_.erase(rid);
+    if (!(resp.status == Errc::unreachable && resp.cmd == Cmd::ping_ns)) {
+      // A real response (the sentinel has a default-constructed cmd).
+      // Remember the id so a late duplicate of this response is counted,
+      // not warned about.
+      completed_reqs_[rid] = 1;
+      completed_fifo_.push_back(rid);
+      while (completed_fifo_.size() > cfg_.dedup_cache_cap) {
+        completed_reqs_.erase(completed_fifo_.front());
+        completed_fifo_.pop_front();
+      }
+      co_return resp;
+    }
+
+    ++stats_.timeouts;
+    if (attempt >= retries) {
+      // The destination stayed silent through every retry: treat the
+      // learned route (if any) as stale so later traffic falls back to
+      // the default route and rediscovers.
+      if (msg.dst != EnclaveId::invalid() && msg.dst != EnclaveId{0}) {
+        enclave_map_.erase(msg.dst.value());
+      }
+      // If the silent link was our path toward the name server, forget it
+      // and re-run discovery over the remaining channels (the enclave ID
+      // is retained; only the route is re-learned).
+      if (!is_ns_ && via == ns_channel_) {
+        ns_channel_ = nullptr;
+        for (auto it = enclave_map_.begin(); it != enclave_map_.end();) {
+          it = it->second == via ? enclave_map_.erase(it) : std::next(it);
+        }
+        sim::Engine::current()->spawn(discovery());
+      }
+      co_return Errc::unreachable;
+    }
+    ++stats_.retries;
+    co_await sim::delay(backoff);
+    backoff = std::min<sim::Duration>(backoff * 2, cfg_.backoff_max);
   }
-  co_return resp;
 }
 
 sim::Task<Result<Message>> XememKernel::request_to_owner(Message msg) {
@@ -171,8 +315,18 @@ sim::Task<Result<Message>> XememKernel::request_to_owner(Message msg) {
 
 sim::Task<void> XememKernel::forward(Message msg, ChannelEndpoint* from) {
   // Requests remember their inbound channel so the response can retrace
-  // the path even before routing tables know the requester.
-  if (!msg.is_response()) pending_fwd_[msg.req_id] = from;
+  // the path even before routing tables know the requester. One-way
+  // messages (release, heartbeat, enclave_shutdown) have no response to
+  // retrace and must not pollute the table. Entries expire after fwd_ttl
+  // (see prune_pending_fwd) so a request whose response never arrives —
+  // the owner crashed, the response was lost past every retry — cannot
+  // leak its entry forever.
+  if (!msg.is_response() && !msg.is_one_way()) {
+    if (!pending_fwd_.contains(msg.req_id)) {
+      fwd_log_.emplace_back(msg.req_id, sim::now());
+    }
+    pending_fwd_[msg.req_id] = from;
+  }
   ++stats_.messages_forwarded;
   ChannelEndpoint* out = route_for(msg.dst);
   // Note: out == from is legitimate — e.g. the name server bouncing an
@@ -184,6 +338,9 @@ sim::Task<void> XememKernel::forward(Message msg, ChannelEndpoint* from) {
 }
 
 sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
+  if (crashed_) co_return;  // a dead enclave hears nothing
+  prune_pending_fwd();
+
   // 1. Responses retracing a forwarded request.
   if (msg.is_response()) {
     auto fwd = pending_fwd_.find(msg.req_id);
@@ -204,8 +361,14 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
       wait->second->send(std::move(msg));
       co_return;
     }
-    XLOG_WARN("xemem", "%s: dropping orphan response %s", os_.name().c_str(),
-              cmd_name(msg.cmd));
+    if (completed_reqs_.contains(msg.req_id)) {
+      // Duplicate of a response we already consumed (a retry raced its
+      // original, or the channel replayed the delivery).
+      ++stats_.dup_suppressed;
+      co_return;
+    }
+    XLOG_DEBUG("xemem", "%s: dropping orphan response %s", os_.name().c_str(),
+               cmd_name(msg.cmd));
     co_return;
   }
 
@@ -230,25 +393,39 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
     co_return;
   }
 
-  // 4. Traffic addressed to this enclave: owner-side servicing.
+  // 4. Traffic addressed to this enclave: owner-side servicing. Commands
+  // are idempotent per req_id: a duplicate delivery (channel replay, or a
+  // retry whose original did arrive) is answered from the response cache
+  // instead of re-executing — re-serving an attach would double-pin
+  // frames, and re-serving a detach would fail with not_attached.
   if (msg.dst == id()) {
+    Message cached;
+    if (dedup_hit(msg.req_id, &cached)) {
+      ++stats_.dup_suppressed;
+      if (!msg.is_one_way()) co_await route_response(std::move(cached), from);
+      co_return;
+    }
     switch (msg.cmd) {
       case Cmd::get: {
         Message resp = co_await serve_get(msg);
+        dedup_store(msg.req_id, resp);
         co_await route_response(std::move(resp), from);
         co_return;
       }
       case Cmd::attach: {
         Message resp = co_await serve_attach(msg);
+        dedup_store(msg.req_id, resp);
         co_await route_response(std::move(resp), from);
         co_return;
       }
       case Cmd::detach: {
         Message resp = co_await serve_detach(msg);
+        dedup_store(msg.req_id, resp);
         co_await route_response(std::move(resp), from);
         co_return;
       }
       case Cmd::release: {
+        dedup_store(msg.req_id, Message{});  // marker: suppress replays
         auto it = exports_.find(msg.segid.value());
         if (it != exports_.end() && it->second.grants > 0) --it->second.grants;
         co_return;  // one-way
@@ -265,9 +442,38 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
 }
 
 sim::Task<void> XememKernel::route_response(Message resp, ChannelEndpoint* from) {
-  ChannelEndpoint* out = route_for(resp.dst);
-  if (out == nullptr) out = from;  // fall back to retracing the request path
+  // Prefer an exact learned route; otherwise retrace the path the request
+  // arrived on (always valid in the tree topology); only fall back to the
+  // default name-server route when neither is available.
+  auto it = enclave_map_.find(resp.dst.value());
+  ChannelEndpoint* out = it != enclave_map_.end() ? it->second : from;
+  if (out == nullptr) out = ns_channel_;
+  if (out == nullptr) co_return;  // no path back: drop
   co_await out->send(std::move(resp));
+}
+
+bool XememKernel::dedup_hit(u64 rid, Message* out) const {
+  auto it = dedup_.find(rid);
+  if (it == dedup_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void XememKernel::dedup_store(u64 rid, const Message& resp) {
+  if (!dedup_.contains(rid)) dedup_fifo_.push_back(rid);
+  dedup_[rid] = resp;
+  while (dedup_fifo_.size() > cfg_.dedup_cache_cap) {
+    dedup_.erase(dedup_fifo_.front());
+    dedup_fifo_.pop_front();
+  }
+}
+
+void XememKernel::prune_pending_fwd() {
+  const sim::TimePoint t = sim::now();
+  while (!fwd_log_.empty() && fwd_log_.front().second + cfg_.fwd_ttl <= t) {
+    if (pending_fwd_.erase(fwd_log_.front().first) != 0) ++stats_.fwd_expired;
+    fwd_log_.pop_front();
+  }
 }
 
 // ------------------------------------------------------------- name server
@@ -277,6 +483,22 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
   ++stats_.ns_requests;
   co_await os_.service_core()->run_irq(costs::kNameServerOp);
 
+  // Liveness bookkeeping: sweep expired leases lazily on every command
+  // (so a retry against a dead owner's segid fails fast with
+  // no_such_segid even between reaper ticks), then renew the sender's.
+  ns_gc_expired_leases();
+  ns_touch_lease(msg.src);
+
+  // Name-server commands are idempotent per req_id, mirroring the
+  // owner-side cache: a retried segid_alloc must not leak a second segid
+  // and a retried alloc_enclave_id must not burn a second ID.
+  Message cached;
+  if (dedup_hit(msg.req_id, &cached)) {
+    ++stats_.dup_suppressed;
+    if (!msg.is_one_way()) co_await from->send(std::move(cached));
+    co_return;
+  }
+
   Message resp;
   resp.req_id = msg.req_id;
   resp.src = EnclaveId{0};
@@ -284,8 +506,11 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
   resp.status = Errc::ok;
 
   switch (msg.cmd) {
+    case Cmd::heartbeat:
+      co_return;  // one-way; the renewal above is the whole effect
     case Cmd::enclave_shutdown: {
       enclave_map_.erase(msg.src.value());
+      ns_leases_.erase(msg.src.value());
       for (auto it = ns_segids_.begin(); it != ns_segids_.end();) {
         if (it->second.owner == msg.src) {
           if (!it->second.name.empty()) ns_names_.erase(it->second.name);
@@ -299,9 +524,13 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
     case Cmd::alloc_enclave_id: {
       const u64 fresh = next_enclave_id_++;
       enclave_map_[fresh] = from;
+      if (cfg_.lease_duration > 0) {
+        ns_leases_[fresh] = sim::now() + cfg_.lease_duration;
+      }
       resp.cmd = Cmd::enclave_id_resp;
       resp.dst = EnclaveId{fresh};
       resp.payload.push_back(fresh);
+      dedup_store(msg.req_id, resp);
       co_await from->send(std::move(resp));
       co_return;
     }
@@ -309,6 +538,7 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
       if (!msg.name.empty() && ns_names_.contains(msg.name)) {
         resp.cmd = Cmd::segid_alloc_resp;
         resp.status = Errc::already_exists;
+        dedup_store(msg.req_id, resp);
         co_await from->send(std::move(resp));
         co_return;
       }
@@ -317,6 +547,7 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
       if (!msg.name.empty()) ns_names_[msg.name] = sid;
       resp.cmd = Cmd::segid_alloc_resp;
       resp.segid = sid;
+      dedup_store(msg.req_id, resp);
       co_await from->send(std::move(resp));
       co_return;
     }
@@ -329,6 +560,7 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
         if (!it->second.name.empty()) ns_names_.erase(it->second.name);
         ns_segids_.erase(it);
       }
+      dedup_store(msg.req_id, resp);
       co_await from->send(std::move(resp));
       co_return;
     }
@@ -372,6 +604,7 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
         err.src = EnclaveId{0};
         err.dst = msg.src;
         err.status = Errc::no_such_segid;
+        dedup_store(msg.req_id, err);
         co_await from->send(std::move(err));
         co_return;
       }
@@ -384,11 +617,13 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
           case Cmd::attach: resp2 = co_await serve_attach(msg); break;
           case Cmd::detach: resp2 = co_await serve_detach(msg); break;
           default: {
+            dedup_store(msg.req_id, Message{});  // one-way release marker
             auto ex = exports_.find(msg.segid.value());
             if (ex != exports_.end() && ex->second.grants > 0) --ex->second.grants;
             co_return;
           }
         }
+        dedup_store(msg.req_id, resp2);
         co_await from->send(std::move(resp2));
         co_return;
       }

@@ -30,11 +30,42 @@
 
 namespace xemem {
 
+/// Tunable protocol policy. The defaults reproduce the historical
+/// behavior (10 s request timeout, 5 ms discovery probes, a couple of
+/// retries, no leases); tests and benches tighten them instead of
+/// simulating multi-second waits.
+struct KernelConfig {
+  /// Request/response timeout before a retry (0 is normalized to this
+  /// default at construction).
+  sim::Duration request_timeout{10'000'000'000ull};  // 10 s
+  /// Discovery probe timeout: short, so one dead neighbor cannot stall
+  /// registration when another channel leads to the name server.
+  sim::Duration ping_timeout{5'000'000ull};  // 5 ms
+  /// Retries after the first timeout, with exponential backoff. Requests
+  /// keep their req_id across retries so the receiving side's dedup cache
+  /// can suppress re-execution of a command that in fact arrived.
+  u32 max_retries{2};
+  sim::Duration backoff_base{1'000'000ull};  // 1 ms, doubles per retry
+  sim::Duration backoff_max{1'000'000'000ull};  // 1 s cap
+  /// Lease an enclave holds on its name-server registration, renewed by
+  /// heartbeats every heartbeat_period (0 = lease/heartbeat machinery
+  /// disabled; crash recovery then relies solely on request timeouts).
+  sim::Duration lease_duration{0};
+  /// Heartbeat cadence; 0 defaults to lease_duration / 3.
+  sim::Duration heartbeat_period{0};
+  /// How long a forwarder remembers a routed request awaiting its
+  /// response; 0 defaults to 2 * (request_timeout + backoff_max) so an
+  /// entry outlives every legitimate retry of its request.
+  sim::Duration fwd_ttl{0};
+  /// Responses remembered for duplicate suppression (FIFO eviction).
+  u64 dedup_cache_cap{1024};
+};
+
 class XememKernel {
  public:
   /// @param is_name_server  exactly one kernel per system hosts the name
   ///                        server (deployable in any enclave; section 3.2)
-  XememKernel(os::Enclave& os, bool is_name_server);
+  XememKernel(os::Enclave& os, bool is_name_server, KernelConfig cfg = {});
 
   XememKernel(const XememKernel&) = delete;
   XememKernel& operator=(const XememKernel&) = delete;
@@ -62,6 +93,16 @@ class XememKernel {
   /// caller must quiesce its own traffic first.
   sim::Task<Result<void>> shutdown();
   bool is_shutdown() const { return stopped_; }
+
+  /// Abrupt enclave death: the kernel goes silent mid-protocol without
+  /// any goodbye traffic. Messages already in flight are ignored, local
+  /// requests in progress fail with Errc::unreachable after their
+  /// retries, and the enclave's pinned frames are released (the dying
+  /// OS's memory is reclaimed by the node). The name server learns of
+  /// the death only through lease expiry (KernelConfig::lease_duration)
+  /// and then garbage-collects the enclave's segids, names, and routes.
+  void crash();
+  bool is_crashed() const { return crashed_; }
 
   // --------------------------------------------------------- XPMEM API
 
@@ -108,7 +149,18 @@ class XememKernel {
   u64 pinned_frames() const;
   /// Known enclave-id -> channel routes (learned from forwarded traffic).
   u64 known_routes() const { return enclave_map_.size(); }
+  bool knows_route(EnclaveId e) const { return enclave_map_.contains(e.value()); }
   u64 exports_live() const { return exports_.size(); }
+  /// Forwarded requests still awaiting a response to retrace (bounded by
+  /// KernelConfig::fwd_ttl; see the orphan-response expiry logic).
+  u64 pending_forwards() const { return pending_fwd_.size(); }
+  /// Name-server registry sizes (0 on non-name-server kernels).
+  u64 ns_segid_count() const { return ns_segids_.size(); }
+  u64 ns_name_count() const { return ns_names_.size(); }
+  /// Whether the name server currently holds a live lease for @p e.
+  bool ns_has_lease(EnclaveId e) const { return ns_leases_.contains(e.value()); }
+
+  const KernelConfig& config() const { return cfg_; }
 
   /// Default request timeout: generous against the microsecond-scale
   /// protocol, but keeps callers from wedging on a dead enclave.
@@ -126,6 +178,11 @@ class XememKernel {
     u64 pages_shared{0};     ///< pages pinned on behalf of attachers (gross)
     u64 messages_forwarded{0};  ///< routed on behalf of other enclaves
     u64 ns_requests{0};      ///< commands processed as name server
+    u64 timeouts{0};         ///< request attempts that expired unanswered
+    u64 retries{0};          ///< request re-sends after a timeout
+    u64 dup_suppressed{0};   ///< duplicate deliveries answered from cache
+    u64 leases_expired{0};   ///< enclaves garbage-collected as name server
+    u64 fwd_expired{0};      ///< forwarded requests whose response never came
   };
   const Stats& stats() const { return stats_; }
 
@@ -157,14 +214,21 @@ class XememKernel {
   sim::Task<void> service_loop(ChannelEndpoint* ep);
   sim::Task<void> handle(Message msg, ChannelEndpoint* from);
   sim::Task<void> discovery();
+  sim::Task<void> heartbeat_actor();
+  sim::Task<void> lease_reaper();
 
-  /// Send a request and await its correlated response. @p via overrides
-  /// route selection (used by discovery probes). @p timeout bounds the
-  /// wait (0 = kRequestTimeout); expiry returns Errc::unreachable and a
-  /// late response is dropped as an orphan.
+  /// Send a request and await its correlated response, retrying with
+  /// exponential backoff on timeout (@p max_retries overrides the config;
+  /// -1 = use config, 0 = single attempt). Retries reuse the req_id so
+  /// receiver-side dedup caches suppress double execution. @p via
+  /// overrides route selection (used by discovery probes). @p timeout
+  /// bounds each attempt (0 = config request_timeout); exhaustion returns
+  /// Errc::unreachable, invalidates any learned route to the destination,
+  /// and a late response is dropped as a duplicate.
   sim::Task<Result<Message>> request(Message msg);
   sim::Task<Result<Message>> request(Message msg, ChannelEndpoint* via,
-                                     sim::Duration timeout = 0);
+                                     sim::Duration timeout = 0,
+                                     i32 max_retries = -1);
   static sim::Task<void> timeout_actor(XememKernel* k, u64 rid, sim::Duration t);
   /// Send an owner-side response toward its requester.
   sim::Task<void> route_response(Message resp, ChannelEndpoint* from);
@@ -181,6 +245,17 @@ class XememKernel {
   // Name-server command handling (only when is_ns_).
   sim::Task<void> ns_handle(Message msg, ChannelEndpoint* from);
 
+  // Per-command idempotency: responses are remembered by req_id so a
+  // retried command that actually arrived is answered from the cache
+  // instead of executing twice (double-pinning frames, leaking segids).
+  bool dedup_hit(u64 rid, Message* out) const;
+  void dedup_store(u64 rid, const Message& resp);
+  // Lease bookkeeping (name-server side; no-ops when leases disabled).
+  void ns_touch_lease(EnclaveId e);
+  void ns_gc_expired_leases();
+  // Expire forwarded-request entries whose response never arrived.
+  void prune_pending_fwd();
+
   // Owner-side servicing of attach/detach/get for local exports.
   sim::Task<Message> serve_get(const Message& msg);
   sim::Task<Message> serve_attach(const Message& msg);
@@ -191,15 +266,25 @@ class XememKernel {
 
   os::Enclave& os_;
   bool is_ns_;
+  KernelConfig cfg_;
   bool started_{false};
   bool stopped_{false};
+  bool crashed_{false};
   Stats stats_;
 
   std::vector<ChannelEndpoint*> channels_;
   ChannelEndpoint* ns_channel_{nullptr};  // next hop toward the name server
   std::unordered_map<u64, ChannelEndpoint*> enclave_map_;  // id -> channel
   std::unordered_map<u64, ChannelEndpoint*> pending_fwd_;  // req_id -> came-from
+  std::deque<std::pair<u64, sim::TimePoint>> fwd_log_;  // insertion order/time
   std::unordered_map<u64, sim::Mailbox<Message>*> pending_resp_;
+  // Requests this kernel completed (response consumed); late duplicate
+  // responses to them are counted, not warned about.
+  std::unordered_map<u64, u8> completed_reqs_;
+  std::deque<u64> completed_fifo_;
+  // Served-response cache for duplicate-request suppression.
+  std::unordered_map<u64, Message> dedup_;
+  std::deque<u64> dedup_fifo_;
   sim::Event registered_;
 
   // Local exports (this enclave's processes) keyed by segid.
@@ -214,6 +299,7 @@ class XememKernel {
   u64 next_enclave_id_{1};  // 0 is the name server itself
   std::unordered_map<u64, NsSegidRecord> ns_segids_;
   std::unordered_map<std::string, Segid> ns_names_;
+  std::unordered_map<u64, sim::TimePoint> ns_leases_;  // enclave -> expiry
 };
 
 }  // namespace xemem

@@ -19,6 +19,7 @@
 #include "palacios/pci_channel.hpp"
 #include "palacios/vm.hpp"
 #include "pisces/manager.hpp"
+#include "xemem/fault.hpp"
 #include "xemem/kernel.hpp"
 
 namespace xemem {
@@ -33,6 +34,28 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   hw::Machine& machine() { return machine_; }
+
+  /// Protocol policy for every kernel created after this call (timeouts,
+  /// retry/backoff limits, lease duration). Call before add_*.
+  void set_kernel_config(const KernelConfig& cfg) { kcfg_ = cfg; }
+  const KernelConfig& kernel_config() const { return kcfg_; }
+
+  /// Decorate every channel created after this call with deterministic
+  /// fault injection (drops/dups/delays per FaultSpec). Each endpoint
+  /// draws from an independent Rng stream forked from @p seed, so the
+  /// fault schedule is a pure function of (seed, traffic order).
+  void enable_fault_injection(const FaultSpec& spec, u64 seed) {
+    fault_spec_ = spec;
+    fault_rng_.reseed(seed);
+    faults_on_ = true;
+  }
+
+  /// Fault-injection wrappers created so far (in channel creation order:
+  /// for each faulty channel, the pair's `a` then `b` endpoint). Tests
+  /// use these to kill() links or read injection counters.
+  const std::vector<std::unique_ptr<FaultyEndpoint>>& faulty_endpoints() const {
+    return faulty_;
+  }
 
   /// The Linux management enclave; hosts the name server (the common
   /// deployment the paper uses throughout its evaluation). Must be added
@@ -73,8 +96,10 @@ class Node {
 
     auto& ck = *booted.value().enclave;
     auto& kernel = register_external_enclave(name, ck, Personality::kitten);
-    kernel_of(mgmt_).add_channel(booted.value().mgmt_endpoint);
-    kernel.add_channel(booted.value().cokernel_endpoint);
+    auto [mgmt_ep, ck_ep] =
+        maybe_faulty(booted.value().mgmt_endpoint, booted.value().cokernel_endpoint);
+    kernel_of(mgmt_).add_channel(mgmt_ep);
+    kernel.add_channel(ck_ep);
     return kernel;
   }
 
@@ -108,8 +133,9 @@ class Node {
                                     Personality::guest_linux, /*is_ns=*/false,
                                     host.enclave);
     auto chan = palacios::make_pci_channel(host.enclave->service_core(), vcpu0);
-    host.kernel->add_channel(chan.a.get());
-    kernel.add_channel(chan.b.get());
+    auto [host_ep, guest_ep] = maybe_faulty(chan.a.get(), chan.b.get());
+    host.kernel->add_channel(host_ep);
+    kernel.add_channel(guest_ep);
     channels_.push_back(std::move(chan));
     return kernel;
   }
@@ -181,6 +207,19 @@ class Node {
     return out;
   }
 
+  /// Wrap a channel's endpoints in fault injectors when enabled; returns
+  /// the endpoints the kernels should register (inner ones otherwise).
+  std::pair<ChannelEndpoint*, ChannelEndpoint*> maybe_faulty(ChannelEndpoint* a,
+                                                             ChannelEndpoint* b) {
+    if (!faults_on_) return {a, b};
+    auto pair = wrap_faulty(a, b, fault_spec_, fault_rng_);
+    ChannelEndpoint* fa = pair.a.get();
+    ChannelEndpoint* fb = pair.b.get();
+    faulty_.push_back(std::move(pair.a));
+    faulty_.push_back(std::move(pair.b));
+    return {fa, fb};
+  }
+
   XememKernel& register_enclave(const std::string& name,
                                 std::unique_ptr<os::Enclave> enclave,
                                 Personality pers, bool is_ns, os::Enclave* host) {
@@ -188,7 +227,7 @@ class Node {
     e->name = name;
     e->enclave = enclave.get();
     e->owned = std::move(enclave);
-    e->kernel = std::make_unique<XememKernel>(*e->enclave, is_ns);
+    e->kernel = std::make_unique<XememKernel>(*e->enclave, is_ns, kcfg_);
     e->personality = pers;
     e->host = host;
     entries_.push_back(std::move(e));
@@ -201,7 +240,7 @@ class Node {
     auto e = std::make_unique<Entry>();
     e->name = name;
     e->enclave = &enclave;
-    e->kernel = std::make_unique<XememKernel>(enclave, false);
+    e->kernel = std::make_unique<XememKernel>(enclave, false, kcfg_);
     e->personality = pers;
     entries_.push_back(std::move(e));
     index_[name] = entries_.size() - 1;
@@ -235,6 +274,12 @@ class Node {
   std::unordered_map<std::string, size_t> index_;
   std::vector<std::unique_ptr<palacios::PalaciosVm>> vms_;
   std::vector<ChannelPair> channels_;
+
+  KernelConfig kcfg_{};
+  FaultSpec fault_spec_{};
+  Rng fault_rng_{1};
+  bool faults_on_{false};
+  std::vector<std::unique_ptr<FaultyEndpoint>> faulty_;
 };
 
 }  // namespace xemem

@@ -38,6 +38,11 @@ enum class Cmd : u8 {
   // tells the name server to retire its routes and any segids it owned.
   enclave_shutdown,
 
+  // Liveness: one-way lease renewal sent by registered enclaves to the
+  // name server. Enclaves whose lease lapses (abrupt crash, severed
+  // channel) are garbage-collected by the name server.
+  heartbeat,
+
   // XPMEM commands (Table 1) that cross enclaves.
   get,          ///< request access permission for a segid
   get_resp,     ///< grant (carries region size) or denial
@@ -92,6 +97,20 @@ struct Message {
         return false;
     }
   }
+
+  /// One-way messages have no correlated response: forwarders must not
+  /// remember them in their response-retrace tables, and senders never
+  /// retry them.
+  bool is_one_way() const {
+    switch (cmd) {
+      case Cmd::release:
+      case Cmd::enclave_shutdown:
+      case Cmd::heartbeat:
+        return true;
+      default:
+        return false;
+    }
+  }
 };
 
 inline const char* cmd_name(Cmd c) {
@@ -100,6 +119,7 @@ inline const char* cmd_name(Cmd c) {
     case Cmd::ping_ns_resp: return "ping_ns_resp";
     case Cmd::alloc_enclave_id: return "alloc_enclave_id";
     case Cmd::enclave_shutdown: return "enclave_shutdown";
+    case Cmd::heartbeat: return "heartbeat";
     case Cmd::enclave_id_resp: return "enclave_id_resp";
     case Cmd::segid_alloc: return "segid_alloc";
     case Cmd::segid_alloc_resp: return "segid_alloc_resp";

@@ -138,5 +138,51 @@ TEST(Robustness, FullExperimentIsDeterministicPerSeed) {
   EXPECT_NE(a, c) << "different seeds must differ (noise models active)";
 }
 
+// Determinism must also hold under fault injection: the fault schedule is
+// drawn from seeded Rng streams in send order, so a lossy channel plus
+// retry/backoff recovery still reproduces to the simulated nanosecond.
+TEST(Robustness, LossyExperimentIsDeterministicPerSeed) {
+  auto run_once = [](u64 seed) {
+    sim::Engine eng(seed);
+    Node node(hw::Machine::optiplex());
+    KernelConfig kcfg;
+    kcfg.request_timeout = 2_ms;  // fail fast enough to retry within the run
+    kcfg.max_retries = 8;
+    kcfg.backoff_base = 200_us;
+    kcfg.backoff_max = 2_ms;
+    node.set_kernel_config(kcfg);
+    node.enable_fault_injection(FaultSpec::loss(0.05), seed + 7);
+    node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+    auto& ck = node.add_cokernel("sim", 0, {4, 5, 6, 7}, 128_MiB);
+    u64 end_time = 0;
+    u64 retries = 0;
+    auto main = [&]() -> sim::Task<void> {
+      co_await node.start();
+      Rng noise_rng(seed + 1);
+      node.spawn_std_noise(*sim::Engine::current(), noise_rng, 10'000'000'000ull);
+      workloads::InsituConfig cfg;
+      cfg.iterations = 40;
+      cfg.signal_every = 20;
+      cfg.region_bytes = 8ull << 20;
+      cfg.sim_compute_ns = 2'000'000;
+      cfg.sim_mem_bytes = 16ull << 20;
+      cfg.grid = 8;
+      cfg.stream_elems = 1 << 12;
+      cfg.poll_interval = 20'000;
+      auto r = co_await workloads::run_insitu(node, "sim", "linux", cfg);
+      (void)r;
+      end_time = sim::now();
+      retries = ck.stats().retries + node.kernel("linux").stats().retries;
+    };
+    eng.run(main());
+    return std::make_pair(end_time, retries);
+  };
+  const auto a = run_once(4242);
+  const auto b = run_once(4242);
+  const auto c = run_once(4243);
+  EXPECT_EQ(a, b) << "identical seeds must reproduce to the nanosecond";
+  EXPECT_NE(a.first, c.first) << "different seeds must differ";
+}
+
 }  // namespace
 }  // namespace xemem
