@@ -1,0 +1,126 @@
+// Allreduce pipelining: how chunk size trades overlap against overhead.
+//
+// The collectives subsystem (src/collectives/) moves large payloads in
+// chunks: while a consumer reduces chunk k (CPU cost), it has already
+// kicked off the fetch of chunk k+1 (socket memory bandwidth), so
+// reduction compute hides copy cost. This example runs the same 1 MiB
+// allreduce — four ranks across two enclaves, topology-aware
+// hierarchical algorithm — under a sweep of chunk sizes and prints the
+// resulting latency curve:
+//
+//   * one chunk == the whole payload: no overlap, fetch then reduce
+//     strictly serialize;
+//   * very small chunks: full overlap, but a fixed per-chunk control
+//     cost (publish word + poll) dominates;
+//   * the sweet spot sits in between — the classic pipelining U-curve.
+//
+// Run: ./build/examples/allreduce_pipeline
+#include <cstdio>
+#include <vector>
+
+#include "collectives/comm.hpp"
+#include "common/units.hpp"
+#include "xemem/system.hpp"
+
+using namespace xemem;
+using coll::Algo;
+using coll::Comm;
+using coll::ReduceOp;
+
+namespace {
+
+constexpr u64 kPayload = 1_MiB;
+constexpr u64 kElems = kPayload / sizeof(double);
+constexpr int kReps = 3;
+
+/// One full run (fresh node, fresh communicator) at @p chunk_bytes;
+/// returns the mean allreduce latency in ns.
+double run_with_chunk(u64 chunk_bytes) {
+  sim::Engine eng(7);
+  Node node(hw::Machine::r420());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  node.add_cokernel("kitten", 1, {12, 13, 14, 15}, 1_GiB);
+  const std::vector<std::string> placement = {"linux", "linux", "kitten",
+                                              "kitten"};
+
+  coll::CollConfig cfg;
+  cfg.slot_bytes = kPayload;
+  cfg.chunk_bytes = chunk_bytes;
+  cfg.poll_interval = 2'000;
+
+  double mean_ns = 0;
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    const u32 n = static_cast<u32>(placement.size());
+    std::vector<Comm::Member> members;
+    for (u32 r = 0; r < n; ++r) {
+      auto& enclave = node.enclave(placement[r]);
+      hw::Core* core = enclave.cores()[r % 2];
+      auto proc = enclave.create_process(Comm::region_bytes(n, cfg) + kPageSize,
+                                         core);
+      members.push_back(Comm::Member{&node.kernel(placement[r]), &enclave,
+                                     proc.value(), core,
+                                     proc.value()->image_base()});
+    }
+
+    std::vector<std::unique_ptr<Comm>> comms(n);
+    u32 pending = n;
+    sim::Event done;
+    auto rank_task = [&](u32 r) -> sim::Task<void> {
+      auto c = co_await Comm::create(members[r], "pipeline", r, n, cfg);
+      XEMEM_ASSERT(c.ok());
+      comms[r] = std::move(c).value();
+      std::vector<double> in(kElems, 1.0 + r), out(kElems, 0.0);
+      for (int i = 0; i < kReps; ++i) {
+        XEMEM_ASSERT((co_await comms[r]->allreduce(in.data(), out.data(),
+                                                   kElems, ReduceOp::sum,
+                                                   Algo::hierarchical))
+                         .ok());
+        XEMEM_ASSERT(out[0] == 1.0 + 2.0 + 3.0 + 4.0);
+      }
+      (void)co_await comms[r]->finalize();
+      if (--pending == 0) done.set();
+    };
+    for (u32 r = 0; r < n; ++r) sim::Engine::current()->spawn(rank_task(r));
+    co_await done.wait();
+    mean_ns =
+        comms[0]->stats().of(coll::OpKind::allreduce).latency_ns.mean();
+  };
+  eng.run(main());
+  return mean_ns;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("1 MiB hierarchical allreduce, 4 ranks / 2 enclaves — chunk-size "
+              "sweep\n");
+  std::printf("(fetch of chunk k+1 overlaps the reduction of chunk k)\n\n");
+  std::printf("%12s %10s %10s\n", "chunk_bytes", "chunks", "us/op");
+
+  double best = 0, whole = 0;
+  u64 best_chunk = 0;
+  for (u64 chunk : std::vector<u64>{1_MiB, 256_KiB, 64_KiB, 16_KiB, 4_KiB,
+                                    1_KiB}) {
+    const double ns = run_with_chunk(chunk);
+    std::printf("%12llu %10llu %10.1f\n",
+                static_cast<unsigned long long>(chunk),
+                static_cast<unsigned long long>((kPayload + chunk - 1) / chunk),
+                ns / 1e3);
+    if (chunk == kPayload) whole = ns;
+    if (best == 0 || ns < best) {
+      best = ns;
+      best_chunk = chunk;
+    }
+  }
+
+  std::printf("\nbest: %llu-byte chunks — %.1fx faster than the unchunked "
+              "transfer\n",
+              static_cast<unsigned long long>(best_chunk), whole / best);
+  const bool interior = best_chunk != kPayload && best_chunk != 1_KiB;
+  std::printf("%s\n", interior
+                          ? "the optimum is interior: overlap wins until "
+                            "per-chunk overhead takes over"
+                          : "note: optimum at sweep edge (cost model shift?)");
+  return best < whole ? 0 : 1;
+}

@@ -19,6 +19,9 @@ if [[ $asan_only -eq 0 ]]; then
   cmake -B build -S . >/dev/null
   cmake --build build -j
   ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+  echo "== collectives bench smoke (JSON next to the ablations) =="
+  ./build/bench/collectives_scaling --quick --json build/collectives_scaling.json
 fi
 
 if [[ $fast -eq 0 ]]; then
@@ -26,6 +29,9 @@ if [[ $fast -eq 0 ]]; then
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j
   ctest --preset asan -j "$(nproc)"
+
+  echo "== collectives bench smoke (asan) =="
+  ./build-asan/bench/collectives_scaling --quick --json build-asan/collectives_scaling.json
 fi
 
 echo "all checks passed"

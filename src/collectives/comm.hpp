@@ -1,0 +1,285 @@
+// Cross-enclave collective operations over XEMEM shared memory.
+//
+// A Comm is an ordered group of processes — spread across arbitrary
+// enclaves of one node — that communicates exclusively through shared
+// segments, the only channel the paper's composed applications have
+// (section 6.1). Bootstrap needs nothing but the XEMEM name service: rank
+// 0 exports one *control segment* under the communicator's name; every
+// rank discovers it by name, attaches, publishes its enclave identity in
+// the member table, and derives the topology (which ranks share an
+// enclave) from the table. No out-of-band channel exists at any point.
+//
+// Every operation — barrier, bcast, reduce, allreduce, allgather — comes
+// in two algorithms:
+//
+//  * flat          — all ranks operate directly on the control segment:
+//                    one slot and a few control words per rank, everyone
+//                    polls the same control page. Optimal for small
+//                    groups and tiny payloads.
+//  * hierarchical  — the XHC shape: the lowest rank in each enclave is
+//                    that enclave's *leader*; members exchange with their
+//                    leader over an enclave-local segment (intra phase),
+//                    leaders exchange over their XEMEM attachments to the
+//                    control segment (cross phase), then fan back out.
+//                    Per-enclave leaders reduce their members in
+//                    parallel, so the serial chain at the root shrinks
+//                    from O(ranks) to O(enclaves).
+//
+// Large payloads move in chunks (CollConfig::chunk_bytes): a consumer
+// overlaps fetching chunk k+1 (socket bandwidth) with reducing chunk k
+// (CPU), so reduction compute hides copy cost.
+//
+// Progress words use *sequence-stamped* publishing: every segment-level
+// sub-operation consumes one communicator-wide sequence number, and each
+// single-writer control word is stamped (seq << 20) | progress. Stamps
+// are strictly monotonic, so no control word ever needs resetting and no
+// reset barrier exists — but all ranks must issue the same collectives in
+// the same order (MPI semantics).
+//
+// Failure semantics: every wait is bounded by CollConfig::timeout. A rank
+// that times out (e.g. a member's enclave crash()ed mid-operation —
+// survivors cannot observe the death directly, exactly as in the paper's
+// polling-only world) posts the error into the control segment's status
+// word and returns Errc::unreachable; every other rank fails fast when it
+// next polls. A posted status is sticky: the communicator is dead and
+// every later operation fails immediately.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collectives/reduce_ops.hpp"
+#include "collectives/stats.hpp"
+#include "collectives/tuning.hpp"
+#include "xemem/shm_sync.hpp"
+#include "xemem/system.hpp"
+
+namespace xemem::coll {
+
+/// Per-communicator policy knobs.
+struct CollConfig {
+  /// Per-rank staging slot: bounds the largest single payload (bcast /
+  /// reduce: message bytes; allgather: ranks * bytes_per_rank).
+  u64 slot_bytes{256_KiB};
+  /// Pipeline granularity for chunked data movement.
+  u64 chunk_bytes{64_KiB};
+  /// Control-word polling cadence.
+  sim::Duration poll_interval{20'000};  // 20 us
+  /// Bound on every wait inside one operation; expiry fails the
+  /// collective with Errc::unreachable (the member-crash path).
+  sim::Duration timeout{2'000'000'000ull};  // 2 s
+  /// Bound on bootstrap discovery/attach (0: use `timeout`).
+  sim::Duration bootstrap_timeout{0};
+  /// Algorithm policy; `automatic` consults the tuning table per call.
+  Algo algo{Algo::automatic};
+};
+
+class Comm {
+ public:
+  /// One rank's local resources. @p region is the base VA of
+  /// region_bytes() bytes of mapped memory in @p proc, reserved for the
+  /// segments this rank may export (rank 0: the control segment; enclave
+  /// leaders: their local segment). @p core defaults to the process's
+  /// core.
+  struct Member {
+    XememKernel* kernel{nullptr};
+    os::Enclave* os{nullptr};
+    os::Process* proc{nullptr};
+    hw::Core* core{nullptr};
+    Vaddr region{};
+  };
+
+  /// Bytes of @p proc memory each rank must reserve for a communicator of
+  /// @p size ranks under @p cfg (callers size process images with this).
+  static u64 region_bytes(u32 size, const CollConfig& cfg);
+
+  /// Collective constructor: every rank of the group calls create() with
+  /// the same @p name, @p size, and @p cfg and its own @p rank; all calls
+  /// complete once the group is fully bootstrapped. Fails with
+  /// Errc::unreachable if the group does not assemble within the
+  /// bootstrap timeout.
+  static sim::Task<Result<std::unique_ptr<Comm>>> create(Member m,
+                                                         std::string name,
+                                                         u32 rank, u32 size,
+                                                         CollConfig cfg = {});
+
+  ~Comm() = default;
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  // ------------------------------------------------------------ operations
+  //
+  // All ranks must call the same operations in the same order (MPI
+  // ordering semantics). `algo` overrides the per-communicator policy for
+  // one call.
+
+  sim::Task<Result<void>> barrier(Algo algo = Algo::automatic);
+
+  /// Broadcast @p bytes from @p root's @p data into everyone else's.
+  sim::Task<Result<void>> bcast(void* data, u64 bytes, u32 root,
+                                Algo algo = Algo::automatic);
+
+  /// Element-wise reduction of @p elems doubles; the result lands in
+  /// @p out on @p root only (rank order, bit-reproducible).
+  sim::Task<Result<void>> reduce(const double* in, double* out, u64 elems,
+                                 u32 root, ReduceOp op = ReduceOp::sum,
+                                 Algo algo = Algo::automatic);
+
+  /// reduce + redistribution: the result lands in @p out on every rank.
+  sim::Task<Result<void>> allreduce(const double* in, double* out, u64 elems,
+                                    ReduceOp op = ReduceOp::sum,
+                                    Algo algo = Algo::automatic);
+
+  /// Every rank contributes @p bytes_per_rank from @p in; @p out (size *
+  /// bytes_per_rank bytes) receives all contributions in rank order.
+  sim::Task<Result<void>> allgather(const void* in, u64 bytes_per_rank,
+                                    void* out, Algo algo = Algo::automatic);
+
+  /// Orderly teardown: barrier, then detach/release/remove every segment.
+  /// Best-effort after a failure (a dead communicator still detaches its
+  /// local mappings).
+  sim::Task<Result<void>> finalize();
+
+  // ---------------------------------------------------------- introspection
+
+  u32 rank() const { return rank_; }
+  u32 size() const { return size_; }
+  const std::string& name() const { return name_; }
+  u32 enclave_count() const { return static_cast<u32>(groups_.size()); }
+  bool is_leader() const { return leader_; }
+  /// Ranks sharing this rank's enclave, in rank order (self included).
+  const std::vector<u32>& group_ranks() const {
+    return groups_[my_group_].ranks;
+  }
+  const CommStats& stats() const { return stats_; }
+  const CollConfig& config() const { return cfg_; }
+  /// Algorithm the tuning policy would pick for @p op at @p bytes.
+  Algo resolve(OpKind op, u64 bytes, Algo override_algo) const;
+  /// Sticky communicator status (Errc::ok while healthy).
+  Errc status() const;
+
+ private:
+  Comm(Member m, std::string name, u32 rank, u32 size, CollConfig cfg);
+
+  /// One enclave's ranks (rank order; ranks[0] is the leader).
+  struct Group {
+    u64 enclave_id{0};
+    std::vector<u32> ranks;
+  };
+
+  /// One rank's view of a shared segment (control or enclave-local): the
+  /// base VA is this rank's own mapping — export VA for the exporter,
+  /// attachment VA for everyone else.
+  struct Seg {
+    Vaddr base{};
+    u32 parties{0};
+    u32 my_idx{0};
+    u64 header_bytes{0};
+    u64 slot_stride{0};
+    bool attached{false};
+    bool exported{false};
+    XpmemAttachment att{};
+    XpmemGrant grant{};
+    Segid segid{};
+
+    bool valid() const { return parties > 0; }
+    u64 member_off(u32 idx, u64 field) const { return 64 + idx * 32ull + field; }
+    u64 slot_off(u32 idx) const { return header_bytes + idx * slot_stride; }
+  };
+
+  /// Shared state of one operation: the deadline every wait honors and
+  /// the stats bucket phases account into.
+  struct OpCtx {
+    shm::Deadline dl;
+    OpStats* st;
+  };
+
+  // Segment geometry/layout (see comm.cpp for the word map).
+  static u64 seg_bytes(u32 parties, const CollConfig& cfg);
+
+  // Control-word access through this rank's mapping (shm::ShmWord).
+  Result<u64> load_word(const Seg& seg, u64 off) const;
+  Result<void> store_word(const Seg& seg, u64 off, u64 v);
+
+  // Sticky failure propagation through the control segment's status word.
+  Errc post_status(Errc e);
+  Result<void> check_status() const;
+
+  // Sequence-stamped primitives (each burns one seq on every rank).
+  u64 next_seq() { return seq_++; }
+  static u64 stamp(u64 seq, u64 progress) { return (seq << 20) | progress; }
+  sim::Task<Result<void>> wait_word(const Seg& seg, u64 off, u64 target,
+                                    OpCtx& ctx);
+  Result<void> seg_signal(Seg& seg, u64 seq);
+  sim::Task<Result<void>> seg_wait_done(Seg& seg, u64 seq,
+                                        const std::vector<u32>& parties,
+                                        OpCtx& ctx);
+  sim::Task<Result<void>> seg_publish(Seg& seg, u64 seq, const void* data,
+                                      u64 bytes, OpCtx& ctx);
+  sim::Task<Result<void>> seg_consume(Seg& seg, u64 seq, u32 src_idx, void* dst,
+                                      u64 bytes, const ReduceOp* rop,
+                                      OpCtx& ctx);
+
+  // Pipelined fetch of one chunk (spawned to overlap with reduction).
+  struct FetchState;
+  static sim::Task<void> fetch_chunk(Comm* c, Seg* seg, u64 contrib_off,
+                                     u64 target, Vaddr src_va, FetchState* fs);
+
+  // Flat algorithms (all ranks on the control segment).
+  sim::Task<Result<void>> flat_barrier(OpCtx& ctx);
+  sim::Task<Result<void>> flat_bcast(void* data, u64 bytes, u32 root,
+                                     OpCtx& ctx);
+  sim::Task<Result<void>> flat_reduce(const double* in, double* out, u64 elems,
+                                      u32 root, ReduceOp op, OpCtx& ctx);
+  sim::Task<Result<void>> flat_allgather(const void* in, u64 bytes_per_rank,
+                                         void* out, OpCtx& ctx);
+
+  // Hierarchical algorithms (intra phase over local segments, cross phase
+  // over the control segment between leaders).
+  sim::Task<Result<void>> hier_barrier(OpCtx& ctx);
+  sim::Task<Result<void>> hier_bcast(void* data, u64 bytes, u32 root,
+                                     OpCtx& ctx);
+  sim::Task<Result<void>> hier_reduce(const double* in, double* out, u64 elems,
+                                      u32 root, ReduceOp op, OpCtx& ctx);
+  sim::Task<Result<void>> hier_allgather(const void* in, u64 bytes_per_rank,
+                                         void* out, OpCtx& ctx);
+
+  // Shared op prologue/epilogue (status check, stats, latency). Takes the
+  // body by value: coroutine parameters are moved into the frame, so the
+  // lambda stays alive while the caller's returned Task is suspended.
+  template <typename F>
+  sim::Task<Result<void>> run_op(OpKind kind, u64 bytes, Algo algo, F body);
+
+  sim::Task<Result<void>> bootstrap();
+  sim::Task<Result<void>> attach_by_name(const std::string& seg_name,
+                                         u32 parties, u32 my_idx, Seg* out,
+                                         OpCtx& ctx);
+
+  // Topology helpers.
+  const Group& group_of(u32 r) const;
+  u32 leader_of(u32 r) const { return group_of(r).ranks[0]; }
+  u32 local_idx_of(u32 r) const;
+  bool same_group(u32 a, u32 b) const;
+  std::vector<u32> leader_indices_except(u32 skip_rank) const;
+
+  Member m_;
+  std::string name_;
+  u32 rank_;
+  u32 size_;
+  CollConfig cfg_;
+  hw::Core* core_{nullptr};
+
+  Seg root_;   // the control segment (parties = size, idx = rank)
+  Seg local_;  // this enclave's segment (invalid when the group is just me)
+
+  std::vector<Group> groups_;  // ordered by lowest member rank
+  u32 my_group_{0};
+  bool leader_{false};
+
+  u64 seq_{0};
+  bool finalized_{false};
+  CommStats stats_;
+};
+
+}  // namespace xemem::coll

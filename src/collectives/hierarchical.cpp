@@ -1,0 +1,349 @@
+// Topology-aware hierarchical collective algorithms (the XHC shape):
+// members exchange with their enclave leader over the enclave-local
+// segment (intra phase), leaders exchange over their cross-enclave XEMEM
+// attachments to the control segment (cross phase), then fan back out.
+//
+// Every phase below burns its sequence number on EVERY rank — including
+// ranks the phase skips — because participation is decided purely from
+// globally known values (op, root, topology), never from data. That keeps
+// the communicator-wide sequence counter identical across ranks, which the
+// stamping protocol requires.
+#include <cstring>
+
+#include "collectives/comm.hpp"
+
+namespace xemem::coll {
+
+namespace {
+
+constexpr u32 kNoRank = 0xffffffffu;
+
+/// Local-segment indices of an enclave's non-leader members: 1..parties-1.
+std::vector<u32> member_idxs(u32 parties) {
+  std::vector<u32> v;
+  for (u32 i = 1; i < parties; ++i) v.push_back(i);
+  return v;
+}
+
+/// All local-segment indices except @p skip.
+std::vector<u32> idxs_except(u32 parties, u32 skip) {
+  std::vector<u32> v;
+  for (u32 i = 0; i < parties; ++i) {
+    if (i != skip) v.push_back(i);
+  }
+  return v;
+}
+
+}  // namespace
+
+sim::Task<Result<void>> Comm::hier_barrier(OpCtx& ctx) {
+  // Intra gather: members report to their leader.
+  const u64 s1 = next_seq();
+  if (local_.valid()) {
+    ++ctx.st->intra_phases;
+    if (leader_) {
+      if (auto r = co_await seg_wait_done(local_, s1, member_idxs(local_.parties),
+                                          ctx);
+          !r.ok()) {
+        co_return r;
+      }
+    } else {
+      if (auto r = seg_signal(local_, s1); !r.ok()) co_return r;
+    }
+  }
+  // Cross barrier among leaders over the control segment.
+  const u64 s2 = next_seq();
+  if (groups_.size() > 1 && leader_) {
+    ++ctx.st->cross_phases;
+    if (auto r = seg_signal(root_, s2); !r.ok()) co_return r;
+    if (auto r = co_await seg_wait_done(root_, s2, leader_indices_except(kNoRank),
+                                        ctx);
+        !r.ok()) {
+      co_return r;
+    }
+  }
+  // Intra release: leaders wave their members through.
+  const u64 s3 = next_seq();
+  if (local_.valid()) {
+    ++ctx.st->intra_phases;
+    if (leader_) {
+      if (auto r = seg_signal(local_, s3); !r.ok()) co_return r;
+    } else {
+      if (auto r = co_await seg_wait_done(local_, s3, std::vector<u32>(1, 0u), ctx); !r.ok()) {
+        co_return r;
+      }
+    }
+  }
+  co_return Result<void>{};
+}
+
+sim::Task<Result<void>> Comm::hier_bcast(void* data, u64 bytes, u32 root,
+                                         OpCtx& ctx) {
+  const u32 lr = leader_of(root);
+  const bool in_root_group = same_group(rank_, root);
+
+  // Phase 1 (only when the root is not its enclave's leader): the root
+  // seeds its own enclave, which also lands the data on that leader.
+  const u64 s1 = next_seq();
+  if (root != lr && in_root_group) {
+    ++ctx.st->intra_phases;
+    const u32 ridx = local_idx_of(root);
+    if (rank_ == root) {
+      if (auto r = co_await seg_publish(local_, s1, data, bytes, ctx); !r.ok()) {
+        co_return r;
+      }
+      if (auto r = co_await seg_wait_done(local_, s1,
+                                          idxs_except(local_.parties, ridx), ctx);
+          !r.ok()) {
+        co_return r;
+      }
+    } else {
+      if (auto r = co_await seg_consume(local_, s1, ridx, data, bytes, nullptr,
+                                        ctx);
+          !r.ok()) {
+        co_return r;
+      }
+      if (auto r = seg_signal(local_, s1); !r.ok()) co_return r;
+    }
+  }
+
+  // Phase 2: the root's leader broadcasts to the other leaders.
+  const u64 s2 = next_seq();
+  if (groups_.size() > 1 && leader_) {
+    ++ctx.st->cross_phases;
+    if (rank_ == lr) {
+      if (auto r = co_await seg_publish(root_, s2, data, bytes, ctx); !r.ok()) {
+        co_return r;
+      }
+      if (auto r = co_await seg_wait_done(root_, s2, leader_indices_except(lr),
+                                          ctx);
+          !r.ok()) {
+        co_return r;
+      }
+    } else {
+      if (auto r = co_await seg_consume(root_, s2, lr, data, bytes, nullptr, ctx);
+          !r.ok()) {
+        co_return r;
+      }
+      if (auto r = seg_signal(root_, s2); !r.ok()) co_return r;
+    }
+  }
+
+  // Phase 3: leaders fan out inside every enclave phase 1 didn't cover.
+  const u64 s3 = next_seq();
+  const bool covered_by_phase1 = in_root_group && root != lr;
+  if (local_.valid() && !covered_by_phase1) {
+    ++ctx.st->intra_phases;
+    if (leader_) {
+      if (auto r = co_await seg_publish(local_, s3, data, bytes, ctx); !r.ok()) {
+        co_return r;
+      }
+      if (auto r = co_await seg_wait_done(local_, s3, member_idxs(local_.parties),
+                                          ctx);
+          !r.ok()) {
+        co_return r;
+      }
+    } else {
+      if (auto r = co_await seg_consume(local_, s3, 0, data, bytes, nullptr, ctx);
+          !r.ok()) {
+        co_return r;
+      }
+      if (auto r = seg_signal(local_, s3); !r.ok()) co_return r;
+    }
+  }
+  co_return Result<void>{};
+}
+
+sim::Task<Result<void>> Comm::hier_reduce(const double* in, double* out,
+                                          u64 elems, u32 root, ReduceOp op,
+                                          OpCtx& ctx) {
+  const u64 bytes = elems * sizeof(double);
+  const u32 lr = leader_of(root);
+  std::vector<double> acc;  // leaders accumulate here
+
+  // Phase 1: each leader reduces its enclave's contributions. Leaders of
+  // different enclaves work in parallel — this is the win over the flat
+  // algorithm's single O(ranks) chain at the root.
+  const u64 s1 = next_seq();
+  if (local_.valid()) {
+    ++ctx.st->intra_phases;
+    if (leader_) {
+      acc.assign(in, in + elems);
+      for (u32 j = 1; j < local_.parties; ++j) {
+        if (auto r = co_await seg_consume(local_, s1, j, acc.data(), bytes, &op,
+                                          ctx);
+            !r.ok()) {
+          co_return r;
+        }
+      }
+      if (auto r = seg_signal(local_, s1); !r.ok()) co_return r;
+    } else {
+      if (auto r = co_await seg_publish(local_, s1, in, bytes, ctx); !r.ok()) {
+        co_return r;
+      }
+      if (auto r = co_await seg_wait_done(local_, s1, std::vector<u32>(1, 0u), ctx); !r.ok()) {
+        co_return r;
+      }
+    }
+  } else if (leader_) {
+    acc.assign(in, in + elems);
+  }
+
+  // Phase 2: the root's leader reduces the other leaders' partials.
+  const u64 s2 = next_seq();
+  if (groups_.size() > 1 && leader_) {
+    ++ctx.st->cross_phases;
+    if (rank_ == lr) {
+      for (const auto& g : groups_) {
+        if (g.ranks[0] == lr) continue;
+        if (auto r = co_await seg_consume(root_, s2, g.ranks[0], acc.data(),
+                                          bytes, &op, ctx);
+            !r.ok()) {
+          co_return r;
+        }
+      }
+      if (auto r = seg_signal(root_, s2); !r.ok()) co_return r;
+    } else {
+      if (auto r = co_await seg_publish(root_, s2, acc.data(), bytes, ctx);
+          !r.ok()) {
+        co_return r;
+      }
+      if (auto r = co_await seg_wait_done(root_, s2, std::vector<u32>(1, lr), ctx); !r.ok()) {
+        co_return r;
+      }
+    }
+  }
+
+  // Phase 3: hand the result to the root. When the root is not its
+  // enclave's leader the hop stays intra-enclave (they share a segment).
+  const u64 s3 = next_seq();
+  if (root != lr) {
+    if (rank_ == lr) {
+      ++ctx.st->intra_phases;
+      if (auto r = co_await seg_publish(local_, s3, acc.data(), bytes, ctx);
+          !r.ok()) {
+        co_return r;
+      }
+      if (auto r = co_await seg_wait_done(local_, s3, std::vector<u32>(1, local_idx_of(root)), ctx);
+          !r.ok()) {
+        co_return r;
+      }
+    } else if (rank_ == root) {
+      ++ctx.st->intra_phases;
+      if (auto r = co_await seg_consume(local_, s3, 0, out, bytes, nullptr, ctx);
+          !r.ok()) {
+        co_return r;
+      }
+      if (auto r = seg_signal(local_, s3); !r.ok()) co_return r;
+    }
+  } else if (rank_ == root) {
+    std::memcpy(out, acc.data(), bytes);
+  }
+  co_return Result<void>{};
+}
+
+sim::Task<Result<void>> Comm::hier_allgather(const void* in, u64 bytes_per_rank,
+                                             void* out, OpCtx& ctx) {
+  // Phase 3 moves the fully assembled result through one slot, and phase 2
+  // moves whole group blocks; both are bounded by the total.
+  const u64 total = static_cast<u64>(size_) * bytes_per_rank;
+  if (total > cfg_.slot_bytes) co_return Errc::invalid_argument;
+
+  const Group& mine = groups_[my_group_];
+  auto* dst = static_cast<u8*>(out);
+  std::vector<u8> groupbuf;  // leaders: my enclave's block, group order
+
+  // Phase 1: members hand their contribution to the leader.
+  const u64 s1 = next_seq();
+  if (local_.valid()) {
+    ++ctx.st->intra_phases;
+    if (leader_) {
+      groupbuf.resize(mine.ranks.size() * bytes_per_rank);
+      std::memcpy(groupbuf.data(), in, bytes_per_rank);
+      for (u32 j = 1; j < local_.parties; ++j) {
+        if (auto r = co_await seg_consume(local_, s1, j,
+                                          groupbuf.data() + j * bytes_per_rank,
+                                          bytes_per_rank, nullptr, ctx);
+            !r.ok()) {
+          co_return r;
+        }
+      }
+      if (auto r = seg_signal(local_, s1); !r.ok()) co_return r;
+    } else {
+      if (auto r = co_await seg_publish(local_, s1, in, bytes_per_rank, ctx);
+          !r.ok()) {
+        co_return r;
+      }
+      if (auto r = co_await seg_wait_done(local_, s1, std::vector<u32>(1, 0u), ctx); !r.ok()) {
+        co_return r;
+      }
+    }
+  } else if (leader_) {
+    const auto* src = static_cast<const u8*>(in);
+    groupbuf.assign(src, src + bytes_per_rank);
+  }
+
+  // Phase 2: leaders exchange group blocks, scattering each incoming
+  // block to its members' rank positions (rank numbering interleaves
+  // across enclaves, so blocks can't just be concatenated).
+  const u64 s2 = next_seq();
+  if (leader_) {
+    for (u32 j = 0; j < mine.ranks.size(); ++j) {
+      std::memcpy(dst + static_cast<u64>(mine.ranks[j]) * bytes_per_rank,
+                  groupbuf.data() + j * bytes_per_rank, bytes_per_rank);
+    }
+    if (groups_.size() > 1) {
+      ++ctx.st->cross_phases;
+      if (auto r = co_await seg_publish(root_, s2, groupbuf.data(),
+                                        groupbuf.size(), ctx);
+          !r.ok()) {
+        co_return r;
+      }
+      std::vector<u8> block;
+      for (const auto& g : groups_) {
+        if (&g == &mine) continue;
+        block.resize(g.ranks.size() * bytes_per_rank);
+        if (auto r = co_await seg_consume(root_, s2, g.ranks[0], block.data(),
+                                          block.size(), nullptr, ctx);
+            !r.ok()) {
+          co_return r;
+        }
+        for (u32 j = 0; j < g.ranks.size(); ++j) {
+          std::memcpy(dst + static_cast<u64>(g.ranks[j]) * bytes_per_rank,
+                      block.data() + j * bytes_per_rank, bytes_per_rank);
+        }
+      }
+      if (auto r = seg_signal(root_, s2); !r.ok()) co_return r;
+      if (auto r = co_await seg_wait_done(root_, s2, leader_indices_except(kNoRank),
+                                          ctx);
+          !r.ok()) {
+        co_return r;
+      }
+    }
+  }
+
+  // Phase 3: leaders publish the assembled result to their members.
+  const u64 s3 = next_seq();
+  if (local_.valid()) {
+    ++ctx.st->intra_phases;
+    if (leader_) {
+      if (auto r = co_await seg_publish(local_, s3, out, total, ctx); !r.ok()) {
+        co_return r;
+      }
+      if (auto r = co_await seg_wait_done(local_, s3, member_idxs(local_.parties),
+                                          ctx);
+          !r.ok()) {
+        co_return r;
+      }
+    } else {
+      if (auto r = co_await seg_consume(local_, s3, 0, out, total, nullptr, ctx);
+          !r.ok()) {
+        co_return r;
+      }
+      if (auto r = seg_signal(local_, s3); !r.ok()) co_return r;
+    }
+  }
+  co_return Result<void>{};
+}
+
+}  // namespace xemem::coll

@@ -1,0 +1,43 @@
+// Reduction operators for the collective engine.
+//
+// Collectives reduce arrays of doubles (the element type of every exchange
+// the repo's workloads perform: CG partial dot products, halo plane
+// merges). The arithmetic executes for real — a reduce's result is the
+// exact serial combination in rank order, so runs are bit-reproducible —
+// and the *time* is charged separately by the engine from
+// costs::kCollReduceBytesPerNs.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace xemem::coll {
+
+enum class ReduceOp : u8 { sum, min, max };
+
+inline const char* reduce_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::sum: return "sum";
+    case ReduceOp::min: return "min";
+    case ReduceOp::max: return "max";
+  }
+  return "?";
+}
+
+/// acc[i] = acc[i] <op> in[i] for i in [0, n).
+inline void reduce_apply(ReduceOp op, double* acc, const double* in, u64 n) {
+  switch (op) {
+    case ReduceOp::sum:
+      for (u64 i = 0; i < n; ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::min:
+      for (u64 i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+    case ReduceOp::max:
+      for (u64 i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+}  // namespace xemem::coll

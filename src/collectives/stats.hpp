@@ -1,0 +1,65 @@
+// Per-communicator introspection counters.
+//
+// Every collective operation accounts its phases, chunk traffic, and
+// control-page polls here, per operation kind, with latency folded into
+// the common RunningStats machinery — so the flat-vs-hierarchical
+// ablation (bench/collectives_scaling.cpp) is quantitative: the
+// hierarchical win shows up as fewer serial reduce chunks at the root and
+// more intra-enclave phases, not just a smaller wall-clock number.
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace xemem::coll {
+
+enum class OpKind : u8 { barrier, bcast, reduce, allreduce, allgather };
+inline constexpr u32 kOpKindCount = 5;
+
+inline const char* op_name(OpKind k) {
+  switch (k) {
+    case OpKind::barrier: return "barrier";
+    case OpKind::bcast: return "bcast";
+    case OpKind::reduce: return "reduce";
+    case OpKind::allreduce: return "allreduce";
+    case OpKind::allgather: return "allgather";
+  }
+  return "?";
+}
+
+/// Counters for one operation kind on one rank's communicator endpoint.
+struct OpStats {
+  u64 ops{0};           ///< completed operations
+  u64 failures{0};      ///< operations that returned an error
+  u64 bytes_moved{0};   ///< payload bytes this rank pushed or pulled
+  u64 chunks{0};        ///< pipeline chunks this rank pushed or pulled
+  u64 polls{0};         ///< control-word polls while waiting
+  u64 intra_phases{0};  ///< intra-enclave phases executed
+  u64 cross_phases{0};  ///< cross-enclave phases executed
+  RunningStats latency_ns;  ///< per-op completion latency on this rank
+};
+
+/// All counters for one rank's communicator endpoint.
+struct CommStats {
+  OpStats op[kOpKindCount];
+  u64 attaches{0};        ///< segment attachments made during bootstrap
+  u64 cross_attaches{0};  ///< ...of which crossed an enclave boundary
+  u64 exports{0};         ///< segments this rank exported
+  u64 bootstrap_polls{0};  ///< control-word polls during create()
+
+  OpStats& of(OpKind k) { return op[static_cast<u32>(k)]; }
+  const OpStats& of(OpKind k) const { return op[static_cast<u32>(k)]; }
+
+  u64 total_polls() const {
+    u64 t = bootstrap_polls;
+    for (const auto& o : op) t += o.polls;
+    return t;
+  }
+  u64 total_bytes() const {
+    u64 t = 0;
+    for (const auto& o : op) t += o.bytes_moved;
+    return t;
+  }
+};
+
+}  // namespace xemem::coll

@@ -1,0 +1,72 @@
+// Algorithm selection for the collective engine.
+//
+// Mirrors the tuning tables hierarchical shared-memory MPI collectives
+// ship with: the flat single-segment algorithm wins when the group is
+// small or the payload tiny (fewer phases, no extra hop through the
+// leader), while the topology-aware hierarchical algorithm wins once
+// several enclaves contribute enough ranks that (a) the root's serial
+// reduce chain dominates and (b) per-enclave leaders can reduce their
+// members in parallel. The table below encodes the crossovers measured by
+// bench/collectives_scaling.cpp; callers override per-op via the Algo
+// argument or per-communicator via CollConfig::algo.
+#pragma once
+
+#include "collectives/stats.hpp"
+#include "common/units.hpp"
+
+namespace xemem::coll {
+
+enum class Algo : u8 { automatic, flat, hierarchical };
+
+inline const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::automatic: return "auto";
+    case Algo::flat: return "flat";
+    case Algo::hierarchical: return "hier";
+  }
+  return "?";
+}
+
+/// One tuning-table row: the first row whose thresholds all hold picks the
+/// algorithm (rows are ordered most-specific first).
+struct TuningEntry {
+  OpKind op;
+  u32 min_ranks;
+  u32 min_enclaves;
+  u64 min_bytes;
+  Algo algo;
+};
+
+inline constexpr TuningEntry kTuningTable[] = {
+    // Wide barriers across several enclaves: the flat counter page takes
+    // O(ranks) polls per rank; going through leaders caps the fan-in.
+    {OpKind::barrier, 16, 3, 0, Algo::hierarchical},
+    // Rooted data movement: once >=2 enclaves hold >=6 ranks and payloads
+    // stop being latency-bound, parallel per-enclave reduction/fan-out
+    // beats the root's serial chain.
+    {OpKind::bcast, 6, 2, 32_KiB, Algo::hierarchical},
+    {OpKind::reduce, 6, 2, 16_KiB, Algo::hierarchical},
+    {OpKind::allreduce, 6, 2, 16_KiB, Algo::hierarchical},
+    // Very wide groups: hierarchical pays off even for small payloads
+    // because the reduce chain is pure per-contribution overhead.
+    {OpKind::reduce, 16, 3, 0, Algo::hierarchical},
+    {OpKind::allreduce, 16, 3, 0, Algo::hierarchical},
+    // allgather has no table entry: every rank's slot moves exactly once
+    // in the flat algorithm and all pulls proceed in parallel, so the
+    // hierarchical variant's extra leader hop never amortizes.
+};
+
+/// Pick an algorithm for @p op over @p ranks ranks spread across
+/// @p enclaves enclaves moving @p bytes per rank.
+inline Algo choose(OpKind op, u32 ranks, u32 enclaves, u64 bytes) {
+  if (enclaves < 2) return Algo::flat;  // no cross-enclave structure to exploit
+  for (const auto& e : kTuningTable) {
+    if (e.op == op && ranks >= e.min_ranks && enclaves >= e.min_enclaves &&
+        bytes >= e.min_bytes) {
+      return e.algo;
+    }
+  }
+  return Algo::flat;
+}
+
+}  // namespace xemem::coll

@@ -138,4 +138,25 @@ inline constexpr u64 kIbPerMtuOverhead = 60_ns;  // headers/credits per MTU
 // Cluster interconnect latency for multi-node collectives (section 7).
 inline constexpr u64 kIbEndToEndLatency = 1800_ns;
 
+// ---------------------------------------------------------------------------
+// Shared-memory collectives (src/collectives/).
+//
+// The collective engine moves payloads through XEMEM attachments in
+// chunks so reduction arithmetic overlaps copy cost. The copy side rides
+// the socket's SharedBandwidth; the constants below charge the compute
+// side.
+
+// One poll of a remote control word: an uncached load across the
+// attachment plus the spin-loop body.
+inline constexpr u64 kCollPollCost = 80_ns;
+
+// Reduction arithmetic throughput (combine two streams, write one):
+// deliberately below socket copy bandwidth so the reduce stage — not the
+// copy — dominates large payloads, which is what makes parallelizing the
+// reduction across per-enclave leaders pay off.
+inline constexpr double kCollReduceBytesPerNs = 1.6;
+
+// Fixed cost per published chunk (flag update, bookkeeping, fence).
+inline constexpr u64 kCollChunkOverhead = 150_ns;
+
 }  // namespace xemem::costs

@@ -1,0 +1,42 @@
+#include "workloads/cg_comm.hpp"
+
+namespace xemem::workloads {
+
+sim::Task<Result<CgCommResult>> cg_comm_solve(coll::Comm& comm, CgSlab& cg,
+                                              u32 iterations, coll::Algo algo) {
+  std::vector<double> boundary(cg.boundary_elems());
+  std::vector<double> gathered(cg.boundary_elems() * comm.size());
+
+  // Global initial r.r (b.b): the one bootstrap reduction.
+  double rr_local = cg.initial_rr_partial();
+  double rr = 0;
+  auto st = co_await comm.allreduce(&rr_local, &rr, 1, coll::ReduceOp::sum, algo);
+  if (!st.ok()) co_return st.error();
+  cg.set_global_rr(rr);
+
+  for (u32 it = 0; it < iterations; ++it) {
+    // Halo exchange: everyone contributes its two boundary p-planes.
+    cg.pack_boundary(boundary.data());
+    st = co_await comm.allgather(boundary.data(),
+                                 boundary.size() * sizeof(double),
+                                 gathered.data(), algo);
+    if (!st.ok()) co_return st.error();
+    cg.unpack_halo(gathered.data());
+
+    double pap_local = cg.matvec_dot_partial();
+    double pap = 0;
+    st = co_await comm.allreduce(&pap_local, &pap, 1, coll::ReduceOp::sum, algo);
+    if (!st.ok()) co_return st.error();
+
+    double rrn_local = cg.update_partial(pap);
+    double rrn = 0;
+    st = co_await comm.allreduce(&rrn_local, &rrn, 1, coll::ReduceOp::sum, algo);
+    if (!st.ok()) co_return st.error();
+    cg.finish_iteration(rrn);
+  }
+
+  co_return CgCommResult{cg.residual_norm(), cg.iterations(),
+                         cg.solution_error_partial()};
+}
+
+}  // namespace xemem::workloads

@@ -1,0 +1,34 @@
+// HPCCG exchanges over the collectives subsystem.
+//
+// Drives a CgSlab (workloads/hpccg.hpp) through its per-iteration
+// exchange protocol using a coll::Comm — the shape HPCCG has on a real
+// machine: one halo exchange (boundary z-planes to the adjacent slabs,
+// carried here by an allgather of every rank's two boundary planes) plus
+// two dot-product allreduces (p.Ap and the new r.r). Each rank's actor
+// coroutine owns its own Comm handle and calls cg_comm_solve with its own
+// slab; the calls rendezvous through the communicator exactly like MPI
+// ranks. See tests/test_cg_slab.cpp for the convergence check against the
+// serial CgSolver and bench/collectives_scaling.cpp for the scaling use.
+#pragma once
+
+#include "collectives/comm.hpp"
+#include "workloads/hpccg.hpp"
+
+namespace xemem::workloads {
+
+struct CgCommResult {
+  double residual{0};        ///< global residual 2-norm after the run
+  u32 iterations{0};         ///< iterations completed
+  double local_error{0};     ///< this rank's max |x_i - 1| over owned rows
+};
+
+/// Run @p iterations of distributed CG on @p cg over @p comm
+/// (comm.size() must equal the slab decomposition's rank count; every
+/// rank calls this collectively). @p algo forces one algorithm for every
+/// exchange; Algo::automatic consults the communicator's tuning policy.
+/// Fails with the collective's status if the communicator dies mid-solve.
+sim::Task<Result<CgCommResult>> cg_comm_solve(coll::Comm& comm, CgSlab& cg,
+                                              u32 iterations,
+                                              coll::Algo algo = coll::Algo::automatic);
+
+}  // namespace xemem::workloads

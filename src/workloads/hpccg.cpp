@@ -1,5 +1,7 @@
 #include "workloads/hpccg.hpp"
 
+#include <algorithm>
+
 namespace xemem::workloads {
 
 CgSolver::CgSolver(Grid g) : grid_(g), n_(u64{g.nx} * g.ny * g.nz) {
@@ -96,6 +98,154 @@ double CgSolver::iterate() {
 }
 
 double CgSolver::solution_error() const {
+  double e = 0;
+  for (double v : x_) e = std::max(e, std::fabs(v - 1.0));
+  return e;
+}
+
+CgSlab::CgSlab(CgSolver::Grid g, u32 rank, u32 ranks)
+    : grid_(g), rank_(rank), ranks_(ranks) {
+  XEMEM_ASSERT(ranks > 0 && rank < ranks);
+  XEMEM_ASSERT_MSG(g.nz >= ranks, "need at least one z-plane per rank");
+  const u32 base = g.nz / ranks;
+  const u32 rem = g.nz % ranks;
+  z0_ = rank * base + std::min(rank, rem);
+  nzl_ = base + (rank < rem ? 1 : 0);
+  plane_ = u64{g.nx} * g.ny;
+  nloc_ = plane_ * nzl_;
+
+  // b = A * ones over owned rows: 27 minus one per in-bounds neighbor.
+  b_.resize(nloc_);
+  for (u32 zl = 0; zl < nzl_; ++zl) {
+    const i64 zg = static_cast<i64>(z0_) + zl;
+    for (u32 y = 0; y < grid_.ny; ++y) {
+      for (u32 x = 0; x < grid_.nx; ++x) {
+        double s = 27.0;
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const i64 nx = static_cast<i64>(x) + dx;
+              const i64 ny = static_cast<i64>(y) + dy;
+              const i64 nz = zg + dz;
+              if (nx < 0 || ny < 0 || nz < 0 || nx >= grid_.nx ||
+                  ny >= grid_.ny || nz >= grid_.nz) {
+                continue;
+              }
+              s -= 1.0;
+            }
+          }
+        }
+        b_[plane_ * zl + grid_.nx * y + x] = s;
+      }
+    }
+  }
+  reset();
+}
+
+void CgSlab::reset() {
+  x_.assign(nloc_, 0.0);
+  r_ = b_;  // r = b - A*0
+  ap_.assign(nloc_, 0.0);
+  p_.assign(plane_ * (nzl_ + 2ull), 0.0);
+  for (u64 i = 0; i < nloc_; ++i) p_[plane_ + i] = r_[i];
+  rr_ = initial_rr_partial();  // caller overwrites with the global value
+  iters_ = 0;
+  converged_ = false;
+}
+
+double CgSlab::initial_rr_partial() const {
+  double s = 0;
+  for (u64 i = 0; i < nloc_; ++i) s += r_[i] * r_[i];
+  return s;
+}
+
+void CgSlab::pack_boundary(double* out) const {
+  const double* lo = p_.data() + plane_;         // lowest owned plane
+  const double* hi = p_.data() + plane_ * nzl_;  // highest owned plane
+  for (u64 i = 0; i < plane_; ++i) out[i] = lo[i];
+  for (u64 i = 0; i < plane_; ++i) out[plane_ + i] = hi[i];
+}
+
+void CgSlab::unpack_halo(const double* gathered) {
+  // gathered = rank-ordered [low | high] plane pairs from pack_boundary.
+  if (rank_ > 0) {
+    const double* below_hi = gathered + (rank_ - 1) * 2 * plane_ + plane_;
+    for (u64 i = 0; i < plane_; ++i) p_[i] = below_hi[i];
+  }
+  if (rank_ + 1 < ranks_) {
+    const double* above_lo = gathered + (rank_ + 1) * 2 * plane_;
+    double* halo_hi = p_.data() + plane_ * (nzl_ + 1ull);
+    for (u64 i = 0; i < plane_; ++i) halo_hi[i] = above_lo[i];
+  }
+}
+
+double CgSlab::apply_row(u32 x, u32 y, u32 zl, const double* p) const {
+  const i64 zg = static_cast<i64>(z0_) + zl;
+  double s = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const i64 nx = static_cast<i64>(x) + dx;
+        const i64 ny = static_cast<i64>(y) + dy;
+        const i64 nz = zg + dz;
+        if (nx < 0 || ny < 0 || nz < 0 || nx >= grid_.nx || ny >= grid_.ny ||
+            nz >= grid_.nz) {
+          continue;
+        }
+        // p is halo-offset storage: owned plane zl lives at index zl + 1.
+        const u64 idx = plane_ * static_cast<u64>(zl + dz + 1) +
+                        grid_.nx * static_cast<u64>(ny) + static_cast<u64>(nx);
+        const double coeff = (dx == 0 && dy == 0 && dz == 0) ? 27.0 : -1.0;
+        s += coeff * p[idx];
+      }
+    }
+  }
+  return s;
+}
+
+double CgSlab::matvec_dot_partial() {
+  // Same converged-hold policy as CgSolver::iterate: past machine
+  // precision the recurrences lose positive definiteness to rounding, so
+  // the math freezes while the caller keeps driving exchanges.
+  converged_ = rr_ < 1e-24;
+  double pap = 0;
+  for (u32 zl = 0; zl < nzl_; ++zl) {
+    for (u32 y = 0; y < grid_.ny; ++y) {
+      for (u32 x = 0; x < grid_.nx; ++x) {
+        const u64 i = plane_ * zl + grid_.nx * y + x;
+        ap_[i] = apply_row(x, y, zl, p_.data());
+        pap += p_[plane_ + i] * ap_[i];
+      }
+    }
+  }
+  return pap;
+}
+
+double CgSlab::update_partial(double pap_global) {
+  if (!converged_) {
+    XEMEM_ASSERT_MSG(pap_global > 0, "matrix lost positive definiteness");
+    const double alpha = rr_ / pap_global;
+    for (u64 i = 0; i < nloc_; ++i) {
+      x_[i] += alpha * p_[plane_ + i];
+      r_[i] -= alpha * ap_[i];
+    }
+  }
+  double s = 0;
+  for (u64 i = 0; i < nloc_; ++i) s += r_[i] * r_[i];
+  return s;
+}
+
+void CgSlab::finish_iteration(double rr_global) {
+  if (!converged_) {
+    const double beta = rr_global / rr_;
+    for (u64 i = 0; i < nloc_; ++i) p_[plane_ + i] = r_[i] + beta * p_[plane_ + i];
+    rr_ = rr_global;
+  }
+  ++iters_;
+}
+
+double CgSlab::solution_error_partial() const {
   double e = 0;
   for (double v : x_) e = std::max(e, std::fabs(v - 1.0));
   return e;

@@ -64,4 +64,70 @@ class CgSolver {
   u32 iters_{0};
 };
 
+/// Slab-partitioned parallel CG on the same 27-point stencil system: rank
+/// r owns a contiguous block of z-planes. The class is pure local math
+/// with an explicit caller-driven step protocol, so any collective
+/// backend can carry the exchanges (workloads/cg_comm.hpp drives it over
+/// coll::Comm, matching HPCCG's per-iteration exchange shape: one halo
+/// exchange plus two dot-product reductions):
+///
+///   set_global_rr(allreduce(initial_rr_partial()))      // once
+///   per iteration:
+///     pack_boundary(buf); allgather(buf) -> unpack_halo(all)
+///     pap = allreduce(matvec_dot_partial())
+///     rr  = allreduce(update_partial(pap))
+///     finish_iteration(rr)
+///
+/// Requires nz >= ranks (every rank owns at least one plane).
+class CgSlab {
+ public:
+  CgSlab(CgSolver::Grid g, u32 rank, u32 ranks);
+
+  u64 plane_elems() const { return u64{grid_.nx} * grid_.ny; }
+  /// Elements of pack_boundary()'s output: this rank's lowest and highest
+  /// p-planes (the halo an adjacent slab needs).
+  u64 boundary_elems() const { return 2 * plane_elems(); }
+  u32 local_planes() const { return nzl_; }
+  u64 local_rows() const { return nloc_; }
+
+  /// Local contribution to the initial r.r (caller sums across ranks and
+  /// feeds the global value back through set_global_rr).
+  double initial_rr_partial() const;
+  void set_global_rr(double rr) { rr_ = rr; }
+
+  /// Write [lowest local p-plane | highest local p-plane] to @p out.
+  void pack_boundary(double* out) const;
+  /// Consume the rank-ordered concatenation of every rank's
+  /// pack_boundary() output (an allgather result) and fill this slab's
+  /// halo planes from its neighbors' facing planes.
+  void unpack_halo(const double* gathered);
+  /// Local matvec (ap = A p over owned rows, using the halo planes) and
+  /// the local contribution to p.Ap.
+  double matvec_dot_partial();
+  /// Alpha step (x += alpha p, r -= alpha ap) from the reduced p.Ap;
+  /// returns the local contribution to the new r.r.
+  double update_partial(double pap_global);
+  /// Beta step (p = r + beta p) from the reduced r.r; ends the iteration.
+  void finish_iteration(double rr_global);
+
+  u32 iterations() const { return iters_; }
+  double residual_norm() const { return std::sqrt(rr_); }
+  /// Local max |x_i - 1| over owned rows (exact solution is all ones).
+  double solution_error_partial() const;
+  void reset();
+
+ private:
+  double apply_row(u32 x, u32 y, u32 zl, const double* p) const;
+
+  CgSolver::Grid grid_;
+  u32 rank_, ranks_;
+  u32 z0_, nzl_;  // owned global plane range [z0_, z0_ + nzl_)
+  u64 plane_, nloc_;
+  std::vector<double> b_, x_, r_, ap_;
+  std::vector<double> p_;  // (nzl_ + 2) planes: [halo_low | owned | halo_high]
+  double rr_{0};           // global r.r (caller-reduced)
+  u32 iters_{0};
+  bool converged_{false};
+};
+
 }  // namespace xemem::workloads

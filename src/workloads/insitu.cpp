@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "collectives/comm.hpp"
 #include "common/log.hpp"
 
 namespace xemem::workloads {
@@ -15,6 +16,18 @@ std::string data_name(u64 tag, u32 k) {
   return "insitu-" + std::to_string(tag) + "-data-" + std::to_string(k);
 }
 std::string ctl_name(u64 tag) { return "insitu-" + std::to_string(tag) + "-ctl"; }
+std::string coll_name(u64 tag) { return "insitu-" + std::to_string(tag) + "-coll"; }
+
+/// Communicator policy for the go/done handshake: payloads are one u64,
+/// so small slots keep the reserved region tiny; the polling cadence
+/// matches the raw control-page model for a fair comparison.
+coll::CollConfig handshake_cfg(const InsituConfig& cfg) {
+  coll::CollConfig cc;
+  cc.slot_bytes = 4 * kPageSize;
+  cc.chunk_bytes = 4 * kPageSize;
+  cc.poll_interval = cfg.poll_interval;
+  return cc;
+}
 
 /// Poll a shared u64 until it reaches @p expect (the paper's ad hoc
 /// notification mechanism: polling on variables in shared memory).
@@ -70,6 +83,10 @@ struct Ctx {
   u32 total_signals;
   Vaddr ctl_va;   // control page in the simulation's address space
   Vaddr data_va;  // data region in the simulation's address space
+  Vaddr sim_coll_va{};  // reserved Comm regions (use_shm_collectives)
+  Vaddr an_coll_va{};
+  std::unique_ptr<coll::Comm> sim_comm;
+  std::unique_ptr<coll::Comm> an_comm;
   Segid ctl_segid;
   std::vector<Segid> data_segids;
   InsituResult result;
@@ -79,6 +96,14 @@ struct Ctx {
 
 sim::Task<void> simulation_actor(Ctx* c) {
   const InsituConfig& cfg = c->cfg;
+  if (cfg.use_shm_collectives) {
+    auto cm = co_await coll::Comm::create(
+        coll::Comm::Member{c->sim_k, c->sim_os, c->sim_proc, c->sim_core,
+                           c->sim_coll_va},
+        coll_name(cfg.run_tag), 0, 2, handshake_cfg(cfg));
+    XEMEM_ASSERT_MSG(cm.ok(), "simulation comm bootstrap failed");
+    c->sim_comm = std::move(cm.value());
+  }
   CgSolver cg(CgSolver::Grid{cfg.grid, cfg.grid, cfg.grid});
   const sim::TimePoint start = sim::now();
   u32 signals = 0;
@@ -110,20 +135,35 @@ sim::Task<void> simulation_actor(Ctx* c) {
         XEMEM_ASSERT_MSG(sid.ok(), "recurring export failed");
         c->data_segids.push_back(sid.value());
       }
-      // Signal the analytics program through shared memory.
-      const u64 go = signals;
-      XEMEM_ASSERT(c->sim_os->proc_write(*c->sim_proc, c->ctl_va + kGoOff, &go,
-                                         sizeof(go))
-                       .ok());
-      if (!cfg.async) {
-        // Synchronous model: wait for the analytics pass to complete.
-        co_await poll_at_least(*c->sim_os, *c->sim_proc, c->ctl_va + kDoneOff,
-                               signals, cfg.poll_interval);
+      // Signal the analytics program through shared memory: either the
+      // collective handshake or the paper's raw control-page polling.
+      u64 go = signals;
+      if (cfg.use_shm_collectives) {
+        XEMEM_ASSERT((co_await c->sim_comm->bcast(&go, sizeof(go), 0)).ok());
+        if (!cfg.async) {
+          // Synchronous model: barrier until the analytics pass completes.
+          XEMEM_ASSERT((co_await c->sim_comm->barrier()).ok());
+        }
+      } else {
+        XEMEM_ASSERT(c->sim_os->proc_write(*c->sim_proc, c->ctl_va + kGoOff,
+                                           &go, sizeof(go))
+                         .ok());
+        if (!cfg.async) {
+          // Synchronous model: wait for the analytics pass to complete.
+          co_await poll_at_least(*c->sim_os, *c->sim_proc, c->ctl_va + kDoneOff,
+                                 signals, cfg.poll_interval);
+        }
       }
     }
   }
 
   c->result.sim_seconds = ns_to_s(sim::now() - start);
+  if (c->sim_comm) {
+    for (u32 k = 0; k < coll::kOpKindCount; ++k) {
+      c->result.coll_ops += c->sim_comm->stats().op[k].ops;
+    }
+    XEMEM_ASSERT((co_await c->sim_comm->finalize()).ok());
+  }
   c->result.residual = cg.residual_norm();
   c->result.solution_error = cg.solution_error();
   c->sim_finished.set();
@@ -133,13 +173,27 @@ sim::Task<void> analytics_actor(Ctx* c) {
   const InsituConfig& cfg = c->cfg;
   const sim::TimePoint start = sim::now();
 
-  // Attach the control page (signal variables).
-  auto ctl_grant = co_await c->an_k->xpmem_get(c->ctl_segid);
-  XEMEM_ASSERT(ctl_grant.ok());
-  auto ctl_att =
-      co_await c->an_k->xpmem_attach(*c->an_proc, ctl_grant.value(), 0, kPageSize);
-  XEMEM_ASSERT(ctl_att.ok());
-  co_await c->an_os->touch_attached(*c->an_proc, ctl_att.value().va, 1);
+  // Signal channel: either join the communicator or attach the control
+  // page (raw signal variables).
+  XpmemGrant ctl_grant{};
+  XpmemAttachment ctl_att{};
+  if (cfg.use_shm_collectives) {
+    auto cm = co_await coll::Comm::create(
+        coll::Comm::Member{c->an_k, c->an_os, c->an_proc, c->an_core,
+                           c->an_coll_va},
+        coll_name(cfg.run_tag), 1, 2, handshake_cfg(cfg));
+    XEMEM_ASSERT_MSG(cm.ok(), "analytics comm bootstrap failed");
+    c->an_comm = std::move(cm.value());
+  } else {
+    auto g = co_await c->an_k->xpmem_get(c->ctl_segid);
+    XEMEM_ASSERT(g.ok());
+    ctl_grant = g.value();
+    auto att =
+        co_await c->an_k->xpmem_attach(*c->an_proc, ctl_grant, 0, kPageSize);
+    XEMEM_ASSERT(att.ok());
+    ctl_att = att.value();
+    co_await c->an_os->touch_attached(*c->an_proc, ctl_att.va, 1);
+  }
 
   Stream stream(cfg.stream_elems);
   XpmemGrant data_grant{};
@@ -147,8 +201,14 @@ sim::Task<void> analytics_actor(Ctx* c) {
   bool attached = false;
 
   for (u32 k = 1; k <= c->total_signals; ++k) {
-    co_await poll_at_least(*c->an_os, *c->an_proc, ctl_att.value().va + kGoOff, k,
-                           cfg.poll_interval);
+    if (cfg.use_shm_collectives) {
+      u64 go = 0;
+      XEMEM_ASSERT((co_await c->an_comm->bcast(&go, sizeof(go), 0)).ok());
+      XEMEM_ASSERT_MSG(go == k, "go signal out of order");
+    } else {
+      co_await poll_at_least(*c->an_os, *c->an_proc, ctl_att.va + kGoOff, k,
+                             cfg.poll_interval);
+    }
 
     if (cfg.recurring || !attached) {
       // Discover the exported region by name and attach it.
@@ -196,18 +256,28 @@ sim::Task<void> analytics_actor(Ctx* c) {
     }
 
     // Signal completion back to the simulation.
-    const u64 done = k;
-    XEMEM_ASSERT(c->an_os->proc_write(*c->an_proc, ctl_att.value().va + kDoneOff,
-                                      &done, sizeof(done))
-                     .ok());
+    if (cfg.use_shm_collectives) {
+      if (!cfg.async) {
+        XEMEM_ASSERT((co_await c->an_comm->barrier()).ok());
+      }
+    } else {
+      const u64 done = k;
+      XEMEM_ASSERT(c->an_os->proc_write(*c->an_proc, ctl_att.va + kDoneOff,
+                                        &done, sizeof(done))
+                       .ok());
+    }
   }
 
   if (attached) {
     XEMEM_ASSERT((co_await c->an_k->xpmem_detach(*c->an_proc, data_att)).ok());
     XEMEM_ASSERT((co_await c->an_k->xpmem_release(data_grant)).ok());
   }
-  XEMEM_ASSERT((co_await c->an_k->xpmem_detach(*c->an_proc, ctl_att.value())).ok());
-  XEMEM_ASSERT((co_await c->an_k->xpmem_release(ctl_grant.value())).ok());
+  if (c->an_comm) {
+    XEMEM_ASSERT((co_await c->an_comm->finalize()).ok());
+  } else {
+    XEMEM_ASSERT((co_await c->an_k->xpmem_detach(*c->an_proc, ctl_att)).ok());
+    XEMEM_ASSERT((co_await c->an_k->xpmem_release(ctl_grant)).ok());
+  }
 
   c->result.analytics_seconds = ns_to_s(sim::now() - start);
   c->analytics_finished.set();
@@ -227,11 +297,15 @@ sim::Task<InsituResult> run_insitu(Node& node, const std::string& sim_enclave,
   c->an_os = &node.enclave(analytics_enclave);
   c->total_signals = cfg.iterations / cfg.signal_every;
 
-  // Simulation image: control page + data region + slack.
-  auto sim_proc = c->sim_os->create_process(cfg.region_bytes + 2 * kPageSize);
+  // Simulation image: control page + data region + slack (+ reserved
+  // communicator region when the handshake rides the collectives).
+  const u64 coll_region =
+      cfg.use_shm_collectives ? coll::Comm::region_bytes(2, handshake_cfg(cfg)) : 0;
+  auto sim_proc = c->sim_os->create_process(page_align_up(cfg.region_bytes) +
+                                            2 * kPageSize + coll_region);
   XEMEM_ASSERT_MSG(sim_proc.ok(), "simulation process creation failed");
   c->sim_proc = sim_proc.value();
-  auto an_proc = c->an_os->create_process(4ull << 20);
+  auto an_proc = c->an_os->create_process((4ull << 20) + coll_region);
   XEMEM_ASSERT_MSG(an_proc.ok(), "analytics process creation failed");
   c->an_proc = an_proc.value();
 
@@ -241,6 +315,10 @@ sim::Task<InsituResult> run_insitu(Node& node, const std::string& sim_enclave,
 
   c->ctl_va = c->sim_proc->image_base();
   c->data_va = c->sim_proc->image_base() + kPageSize;
+  if (cfg.use_shm_collectives) {
+    c->sim_coll_va = c->data_va + page_align_up(cfg.region_bytes) + kPageSize;
+    c->an_coll_va = c->an_proc->image_base() + (4ull << 20);
+  }
 
   // Export the control page, and the data region for the one-time model.
   auto ctl = co_await c->sim_k->xpmem_make(*c->sim_proc, c->ctl_va, kPageSize,

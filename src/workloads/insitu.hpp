@@ -54,6 +54,15 @@ struct InsituConfig {
   net::Communicator* comm{nullptr};
   u64 allreduce_bytes{16};
 
+  // Carry the go/done control handshake over the shared-memory
+  // collectives subsystem (src/collectives/) instead of raw polling on
+  // control-page words: "go" is a bcast of the signal counter from the
+  // simulation rank; "done" is a barrier (synchronous model only). Note
+  // the bcast rendezvouses at each signal point, so the asynchronous
+  // model's fire-and-forget signal gains a hand-off rendezvous; data
+  // movement and the attach models are unchanged.
+  bool use_shm_collectives{false};
+
   // Polling granularity for the shared-memory signal variables.
   sim::Duration poll_interval{200'000};  // 200 us
 
@@ -67,6 +76,7 @@ struct InsituResult {
   double solution_error{0};   ///< max |x_i - 1| against the exact solution
   u32 attaches_performed{0};  ///< analytics-side attachment count
   double analytics_seconds{0};
+  u64 coll_ops{0};  ///< simulation-side collective ops (use_shm_collectives)
 };
 
 /// Run one composed in-situ benchmark between two enclaves of @p node.

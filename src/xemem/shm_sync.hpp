@@ -17,11 +17,33 @@
 // The simulator executes one coroutine at a time, so read-modify-write
 // sequences are structurally atomic; on real hardware these would be
 // LOCK-prefixed operations.
+//
+// Failure semantics: every access can fail — the mapping may have been
+// detached, or the peer enclave crashed and its export torn down.
+// Accesses propagate the underlying proc_read/proc_write Status instead
+// of asserting, and every wait loop takes an optional timeout (0 = wait
+// forever) that expires with Errc::unreachable, so a collective over a
+// dead member degrades to an error instead of a hang.
 #pragma once
 
 #include "os/enclave.hpp"
 
 namespace xemem::shm {
+
+/// Deadline helper for the polling waits below: @p timeout 0 waits
+/// forever, otherwise the wait fails with Errc::unreachable once the
+/// simulated clock passes start + timeout.
+class Deadline {
+ public:
+  explicit Deadline(sim::Duration timeout)
+      : at_(timeout == 0 ? ~u64{0} : sim::now() + timeout) {}
+
+  bool expired() const { return sim::now() >= at_; }
+  sim::TimePoint at() const { return at_; }
+
+ private:
+  sim::TimePoint at_;
+};
 
 /// Handle to one u64 word of shared memory, accessed through a specific
 /// process's mapping.
@@ -30,23 +52,30 @@ class ShmWord {
   ShmWord(os::Enclave& os, os::Process& proc, Vaddr va)
       : os_(&os), proc_(&proc), va_(va) {}
 
-  u64 load() const {
+  Result<u64> load() const {
     u64 v = 0;
-    XEMEM_ASSERT(os_->proc_read(*proc_, va_, &v, 8).ok());
+    if (auto r = os_->proc_read(*proc_, va_, &v, 8); !r.ok()) return r.error();
     return v;
   }
-  void store(u64 v) { XEMEM_ASSERT(os_->proc_write(*proc_, va_, &v, 8).ok()); }
+  Result<void> store(u64 v) { return os_->proc_write(*proc_, va_, &v, 8); }
 
   /// Structurally-atomic compare-and-swap (single-threaded simulator).
-  bool cas(u64 expect, u64 desired) {
-    if (load() != expect) return false;
-    store(desired);
+  /// Returns whether the swap happened; mapping failures surface as the
+  /// underlying Status.
+  Result<bool> cas(u64 expect, u64 desired) {
+    auto cur = load();
+    if (!cur.ok()) return cur.error();
+    if (cur.value() != expect) return false;
+    if (auto w = store(desired); !w.ok()) return w.error();
     return true;
   }
-  u64 fetch_add(u64 delta) {
-    const u64 v = load();
-    store(v + delta);
-    return v;
+
+  /// Returns the pre-increment value.
+  Result<u64> fetch_add(u64 delta) {
+    auto cur = load();
+    if (!cur.ok()) return cur.error();
+    if (auto w = store(cur.value() + delta); !w.ok()) return w.error();
+    return cur.value();
   }
 
  private:
@@ -60,12 +89,24 @@ class ShmFlag {
  public:
   ShmFlag(os::Enclave& os, os::Process& proc, Vaddr va) : word_(os, proc, va) {}
 
-  void raise() { word_.store(1); }
-  bool is_raised() const { return word_.load() != 0; }
-  void clear() { word_.store(0); }
+  Result<void> raise() { return word_.store(1); }
+  Result<void> clear() { return word_.store(0); }
+  Result<bool> is_raised() const {
+    auto v = word_.load();
+    if (!v.ok()) return v.error();
+    return v.value() != 0;
+  }
 
-  sim::Task<void> wait(sim::Duration poll = 20'000) {
-    while (!is_raised()) co_await sim::delay(poll);
+  sim::Task<Result<void>> wait(sim::Duration poll = 20'000,
+                               sim::Duration timeout = 0) {
+    Deadline dl(timeout);
+    for (;;) {
+      auto up = is_raised();
+      if (!up.ok()) co_return up.error();
+      if (up.value()) co_return Result<void>{};
+      if (dl.expired()) co_return Errc::unreachable;
+      co_await sim::delay(poll);
+    }
   }
 
  private:
@@ -77,14 +118,26 @@ class ShmLock {
  public:
   ShmLock(os::Enclave& os, os::Process& proc, Vaddr va) : word_(os, proc, va) {}
 
-  sim::Task<void> lock(sim::Duration poll = 5'000) {
-    while (!word_.cas(0, 1)) co_await sim::delay(poll);
+  sim::Task<Result<void>> lock(sim::Duration poll = 5'000,
+                               sim::Duration timeout = 0) {
+    Deadline dl(timeout);
+    for (;;) {
+      auto got = word_.cas(0, 1);
+      if (!got.ok()) co_return got.error();
+      if (got.value()) co_return Result<void>{};
+      if (dl.expired()) co_return Errc::unreachable;
+      co_await sim::delay(poll);
+    }
   }
-  void unlock() {
-    XEMEM_ASSERT_MSG(word_.load() == 1, "unlock of a free ShmLock");
-    word_.store(0);
+
+  Result<void> unlock() {
+    auto v = word_.load();
+    if (!v.ok()) return v.error();
+    XEMEM_ASSERT_MSG(v.value() == 1, "unlock of a free ShmLock");
+    return word_.store(0);
   }
-  bool try_lock() { return word_.cas(0, 1); }
+
+  Result<bool> try_lock() { return word_.cas(0, 1); }
 
  private:
   ShmWord word_;
@@ -93,6 +146,11 @@ class ShmLock {
 /// Sense-reversing barrier for @p parties processes. Layout: two u64 words
 /// (arrival count at +0, sense at +8). Each participant keeps its own
 /// local sense across episodes, so the barrier is immediately reusable.
+///
+/// A timeout expiry (or a mapping failure) leaves the shared words in an
+/// indeterminate episode: the barrier object must not be reused after a
+/// failed arrive_and_wait — tear the group down instead (this is exactly
+/// the collectives layer's member-crash path).
 class ShmBarrier {
  public:
   static constexpr u64 kFootprint = 16;
@@ -101,20 +159,31 @@ class ShmBarrier {
       : count_(os, proc, base), sense_(os, proc, base + 8), parties_(parties) {}
 
   /// Initialize the shared words (exactly one participant, once).
-  void init() {
-    count_.store(0);
-    sense_.store(0);
+  Result<void> init() {
+    if (auto r = count_.store(0); !r.ok()) return r;
+    return sense_.store(0);
   }
 
-  sim::Task<void> arrive_and_wait(sim::Duration poll = 10'000) {
+  sim::Task<Result<void>> arrive_and_wait(sim::Duration poll = 10'000,
+                                          sim::Duration timeout = 0) {
+    Deadline dl(timeout);
     const u64 my_sense = 1 - local_sense_;
-    if (count_.fetch_add(1) + 1 == parties_) {
-      count_.store(0);
-      sense_.store(my_sense);  // release everyone
+    auto before = count_.fetch_add(1);
+    if (!before.ok()) co_return before.error();
+    if (before.value() + 1 == parties_) {
+      if (auto r = count_.store(0); !r.ok()) co_return r;
+      if (auto r = sense_.store(my_sense); !r.ok()) co_return r;  // release all
     } else {
-      while (sense_.load() != my_sense) co_await sim::delay(poll);
+      for (;;) {
+        auto s = sense_.load();
+        if (!s.ok()) co_return s.error();
+        if (s.value() == my_sense) break;
+        if (dl.expired()) co_return Errc::unreachable;
+        co_await sim::delay(poll);
+      }
     }
     local_sense_ = my_sense;
+    co_return Result<void>{};
   }
 
  private:
@@ -129,12 +198,24 @@ class ShmCounter {
  public:
   ShmCounter(os::Enclave& os, os::Process& proc, Vaddr va) : word_(os, proc, va) {}
 
-  void publish(u64 v) { word_.store(v); }
-  u64 read() const { return word_.load(); }
-  u64 increment() { return word_.fetch_add(1) + 1; }
+  Result<void> publish(u64 v) { return word_.store(v); }
+  Result<u64> read() const { return word_.load(); }
+  Result<u64> increment() {
+    auto prev = word_.fetch_add(1);
+    if (!prev.ok()) return prev.error();
+    return prev.value() + 1;
+  }
 
-  sim::Task<void> wait_at_least(u64 target, sim::Duration poll = 20'000) {
-    while (word_.load() < target) co_await sim::delay(poll);
+  sim::Task<Result<void>> wait_at_least(u64 target, sim::Duration poll = 20'000,
+                                        sim::Duration timeout = 0) {
+    Deadline dl(timeout);
+    for (;;) {
+      auto v = word_.load();
+      if (!v.ok()) co_return v.error();
+      if (v.value() >= target) co_return Result<void>{};
+      if (dl.expired()) co_return Errc::unreachable;
+      co_await sim::delay(poll);
+    }
   }
 
  private:

@@ -1,0 +1,212 @@
+// Tests for the slab-partitioned HPCCG solver and its coupling to the
+// collectives subsystem: the distributed math must reproduce the serial
+// CgSolver (same stencil, same recurrences, only the dot-product
+// summation order differs), both driven by hand in plain code and driven
+// for real over a coll::Comm across three enclaves; plus the in-situ
+// workload's opt-in collective go/done handshake.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "common/units.hpp"
+#include "workloads/cg_comm.hpp"
+#include "workloads/insitu.hpp"
+#include "xemem/system.hpp"
+
+#define CO_ASSERT_TRUE(x)                            \
+  do {                                               \
+    if (!(x)) {                                      \
+      ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #x; \
+      co_return;                                     \
+    }                                                \
+  } while (0)
+
+namespace xemem {
+namespace {
+
+using coll::Algo;
+using coll::Comm;
+using workloads::CgCommResult;
+using workloads::CgSlab;
+using workloads::CgSolver;
+
+constexpr CgSolver::Grid kGrid{8, 8, 12};
+constexpr u32 kIters = 40;
+
+/// Drive @p ranks slabs through one full solve entirely in host code
+/// (the exchange protocol with loops standing in for the collectives).
+double drive_slabs_serially(u32 ranks, u32 iters, double* max_err) {
+  std::vector<CgSlab> slabs;
+  for (u32 r = 0; r < ranks; ++r) slabs.emplace_back(kGrid, r, ranks);
+
+  double rr = 0;
+  for (auto& s : slabs) rr += s.initial_rr_partial();
+  for (auto& s : slabs) s.set_global_rr(rr);
+
+  const u64 bnd = slabs[0].boundary_elems();
+  std::vector<double> gathered(bnd * ranks);
+  for (u32 it = 0; it < iters; ++it) {
+    for (u32 r = 0; r < ranks; ++r) {
+      slabs[r].pack_boundary(gathered.data() + r * bnd);
+    }
+    for (auto& s : slabs) s.unpack_halo(gathered.data());
+    double pap = 0;
+    for (auto& s : slabs) pap += s.matvec_dot_partial();
+    double rrn = 0;
+    for (auto& s : slabs) rrn += s.update_partial(pap);
+    for (auto& s : slabs) s.finish_iteration(rrn);
+  }
+  if (max_err != nullptr) {
+    *max_err = 0;
+    for (auto& s : slabs) *max_err = std::max(*max_err, s.solution_error_partial());
+  }
+  return slabs[0].residual_norm();
+}
+
+TEST(CgSlab, MatchesSerialSolverAndConverges) {
+  CgSolver serial(kGrid);
+  double serial_res = 0;
+  for (u32 it = 0; it < kIters; ++it) serial_res = serial.iterate();
+
+  for (u32 ranks : {1u, 2u, 3u, 5u}) {
+    double err = 0;
+    const double res = drive_slabs_serially(ranks, kIters, &err);
+    // Identical recurrences; only dot-product summation order differs.
+    EXPECT_NEAR(res, serial_res, 1e-9 * (1.0 + serial_res)) << ranks << " ranks";
+    EXPECT_LT(err, 1e-8) << ranks << " ranks";
+  }
+  EXPECT_LT(serial.solution_error(), 1e-8);
+}
+
+TEST(CgSlab, PartitionCoversEveryPlaneExactlyOnce) {
+  const u32 ranks = 5;  // 12 planes over 5 ranks: 3+3+2+2+2
+  u64 rows = 0;
+  u32 planes = 0;
+  for (u32 r = 0; r < ranks; ++r) {
+    CgSlab s(kGrid, r, ranks);
+    rows += s.local_rows();
+    planes += s.local_planes();
+    EXPECT_EQ(s.local_rows(), s.plane_elems() * s.local_planes());
+  }
+  EXPECT_EQ(planes, kGrid.nz);
+  EXPECT_EQ(rows, u64{kGrid.nx} * kGrid.ny * kGrid.nz);
+}
+
+/// Six ranks over three enclaves solving the same system over a Comm.
+struct CgCommFixture {
+  sim::Engine eng{29};
+  Node node{hw::Machine::r420()};
+  coll::CollConfig cfg;
+  std::vector<Comm::Member> members;
+
+  CgCommFixture() {
+    cfg.slot_bytes = 32_KiB;
+    cfg.chunk_bytes = 8_KiB;
+  }
+
+  sim::Task<void> setup() {
+    node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+    node.add_cokernel("ck0", 0, {6, 7}, 128_MiB);
+    node.add_cokernel("ck1", 1, {12, 13}, 128_MiB);
+    const std::vector<std::string> placement = {"linux", "linux", "ck0",
+                                                "ck0",   "ck1",   "ck1"};
+    co_await node.start();
+    const u32 n = static_cast<u32>(placement.size());
+    std::map<std::string, u32> next_core;
+    for (u32 r = 0; r < n; ++r) {
+      auto& enclave = node.enclave(placement[r]);
+      hw::Core* core = enclave.cores()[next_core[placement[r]]++ %
+                                       enclave.cores().size()];
+      auto proc =
+          enclave.create_process(Comm::region_bytes(n, cfg) + kPageSize, core);
+      XEMEM_ASSERT(proc.ok());
+      members.push_back(Comm::Member{&node.kernel(placement[r]), &enclave,
+                                     proc.value(), core,
+                                     proc.value()->image_base()});
+    }
+  }
+
+  sim::Task<void> run_ranks(std::function<sim::Task<void>(u32)> body) {
+    const u32 n = static_cast<u32>(members.size());
+    u32 pending = n;
+    sim::Event all_done;
+    auto wrap = [&](u32 r) -> sim::Task<void> {
+      co_await body(r);
+      if (--pending == 0) all_done.set();
+    };
+    for (u32 r = 0; r < n; ++r) sim::Engine::current()->spawn(wrap(r));
+    co_await all_done.wait();
+  }
+};
+
+TEST(CgSlab, CommSolveMatchesSerialAcrossThreeEnclaves) {
+  CgSolver serial(kGrid);
+  double serial_res = 0;
+  for (u32 it = 0; it < kIters; ++it) serial_res = serial.iterate();
+
+  for (Algo algo : {Algo::flat, Algo::hierarchical}) {
+    CgCommFixture f;
+    auto main = [&]() -> sim::Task<void> {
+      co_await f.setup();
+      const u32 n = static_cast<u32>(f.members.size());
+      co_await f.run_ranks([&](u32 r) -> sim::Task<void> {
+        auto c = co_await Comm::create(f.members[r], "cg", r, n, f.cfg);
+        CO_ASSERT_TRUE(c.ok());
+        CgSlab slab(kGrid, r, n);
+        auto res = co_await workloads::cg_comm_solve(*c.value(), slab, kIters,
+                                                     algo);
+        CO_ASSERT_TRUE(res.ok());
+        EXPECT_EQ(res.value().iterations, kIters);
+        EXPECT_NEAR(res.value().residual, serial_res,
+                    1e-9 * (1.0 + serial_res));
+        EXPECT_LT(res.value().local_error, 1e-8);
+        // The solve really exchanged: one allgather + two allreduces per
+        // iteration plus the bootstrap reduction.
+        EXPECT_EQ(c.value()->stats().of(coll::OpKind::allgather).ops, kIters);
+        EXPECT_EQ(c.value()->stats().of(coll::OpKind::allreduce).ops,
+                  2u * kIters + 1);
+        CO_ASSERT_TRUE((co_await c.value()->finalize()).ok());
+      });
+    };
+    f.eng.run(main());
+  }
+}
+
+TEST(Insitu, ShmCollectiveHandshakeConverges) {
+  for (bool async : {false, true}) {
+    sim::Engine eng(31);
+    Node node(hw::Machine::r420());
+    node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+    node.add_cokernel("ck", 0, {6, 7}, 256_MiB);
+
+    workloads::InsituConfig cfg;
+    cfg.iterations = 8;
+    cfg.signal_every = 2;
+    cfg.region_bytes = 4_MiB;
+    cfg.sim_compute_ns = 1'000'000;
+    cfg.sim_mem_bytes = 8_MiB;
+    cfg.grid = 8;
+    cfg.stream_elems = 1 << 12;
+    cfg.async = async;
+    cfg.use_shm_collectives = true;
+    cfg.run_tag = async ? 2 : 1;
+
+    workloads::InsituResult result;
+    auto main = [&]() -> sim::Task<void> {
+      co_await node.start();
+      result = co_await workloads::run_insitu(node, "ck", "linux", cfg);
+    };
+    eng.run(main());
+
+    EXPECT_GT(result.sim_seconds, 0.0);
+    EXPECT_GT(result.analytics_seconds, 0.0);
+    EXPECT_LT(result.solution_error, 1.0);  // 8 iterations: converging
+    EXPECT_EQ(result.attaches_performed, 1u);
+    // 4 signal points: a bcast each, plus a barrier each when synchronous.
+    EXPECT_EQ(result.coll_ops, async ? 4u : 8u);
+  }
+}
+
+}  // namespace
+}  // namespace xemem

@@ -210,6 +210,90 @@ TEST(Ring, WorksAcrossTheVmBoundary) {
   f.eng.run(main());
 }
 
+TEST(Ring, CursorWrapAtExactCapacityAcrossVmBoundary) {
+  // Pin down the wrap boundary: both free-running cursors sitting exactly
+  // at capacity_slots() (and at misaligned multiples of it) must neither
+  // lose a slot nor admit a 17th message — with the consumer reading
+  // guest memory through the Palacios translation the whole time.
+  RingFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.node.start();
+    auto p = co_await f.wire("vm0", "kitten0", 3 * kPageSize);
+    shm::RingProducer prod(f.node.enclave("vm0"), *p.producer_proc,
+                           p.producer_base, 3 * kPageSize, 512);
+    shm::RingConsumer cons(f.node.enclave("kitten0"), *p.consumer_proc,
+                           p.consumer_base, 3 * kPageSize, 512);
+    CO_ASSERT_TRUE(prod.init().ok());
+    const u64 cap = prod.capacity_slots();
+    EXPECT_EQ(cap, 16u);
+
+    // Round 1: fill to exactly capacity; the ring must hold cap and no more.
+    for (u64 i = 0; i < cap; ++i) {
+      auto r = co_await prod.try_push(&i, sizeof(i));
+      CO_ASSERT_TRUE(r.ok() && r.value());
+    }
+    u64 extra = ~u64{0};
+    auto full = co_await prod.try_push(&extra, sizeof(extra));
+    CO_ASSERT_TRUE(full.ok());
+    EXPECT_FALSE(full.value());
+    EXPECT_EQ(cons.pending(), cap);
+
+    // Drain fully: both cursors now sit exactly at capacity_slots().
+    for (u64 i = 0; i < cap; ++i) {
+      auto msg = co_await cons.pop();
+      CO_ASSERT_TRUE(msg.ok());
+      u64 v = 0;
+      memcpy(&v, msg.value().data(), sizeof(v));
+      EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(cons.pending(), 0u);
+
+    // Round 2 from the cursor==capacity boundary: indexes cap..2*cap-1
+    // must reuse slots 0..cap-1 without clobbering or skipping.
+    for (u64 i = 0; i < cap; ++i) {
+      const u64 v = 0x5eed0000 + i;
+      auto r = co_await prod.try_push(&v, sizeof(v));
+      CO_ASSERT_TRUE(r.ok() && r.value());
+    }
+    full = co_await prod.try_push(&extra, sizeof(extra));
+    CO_ASSERT_TRUE(full.ok());
+    EXPECT_FALSE(full.value());
+    for (u64 i = 0; i < cap; ++i) {
+      auto msg = co_await cons.pop();
+      CO_ASSERT_TRUE(msg.ok());
+      u64 v = 0;
+      memcpy(&v, msg.value().data(), sizeof(v));
+      EXPECT_EQ(v, 0x5eed0000 + i);
+    }
+
+    // Misaligned wrap: advance by 5, then hit the full condition with
+    // tail-head == capacity while both cursors straddle a wrap point.
+    for (u64 i = 0; i < 5; ++i) {
+      const u64 v = 0xaa00 + i;
+      CO_ASSERT_TRUE((co_await prod.push(&v, sizeof(v))).ok());
+      auto msg = co_await cons.pop();
+      CO_ASSERT_TRUE(msg.ok());
+    }
+    for (u64 i = 0; i < cap; ++i) {
+      const u64 v = 0xbb00 + i;
+      auto r = co_await prod.try_push(&v, sizeof(v));
+      CO_ASSERT_TRUE(r.ok() && r.value());
+    }
+    full = co_await prod.try_push(&extra, sizeof(extra));
+    CO_ASSERT_TRUE(full.ok());
+    EXPECT_FALSE(full.value());
+    for (u64 i = 0; i < cap; ++i) {
+      auto msg = co_await cons.pop();
+      CO_ASSERT_TRUE(msg.ok());
+      u64 v = 0;
+      memcpy(&v, msg.value().data(), sizeof(v));
+      EXPECT_EQ(v, 0xbb00 + i);
+    }
+    EXPECT_EQ(cons.pending(), 0u);
+  };
+  f.eng.run(main());
+}
+
 TEST(Ring, OversizeMessageRejected) {
   RingFixture f;
   auto main = [&]() -> sim::Task<void> {

@@ -1,7 +1,8 @@
 // Tests for the shared-memory application layer: flags, locks, barriers,
 // counters, and the shared-region allocator — including cross-enclave use
 // where owner and attacher manipulate the same objects through different
-// mappings.
+// mappings, failure propagation through torn-down mappings, and timeout
+// expiry on the polling waits.
 #include <gtest/gtest.h>
 
 #include "common/units.hpp"
@@ -20,19 +21,24 @@
 namespace xemem {
 namespace {
 
-// Two views of one shared region: the Kitten owner and a Linux attacher.
+// Views of one shared region: the Kitten owner, a Linux attacher, and (on
+// demand) a guest-Linux VM attacher — one mapping per personality.
 struct ShmFixture {
   sim::Engine eng{17};
   Node node{hw::Machine::r420()};
   os::Process* owner{};
   os::Process* user{};
+  os::Process* vm_user{};
   Vaddr owner_base{};
   Vaddr user_base{};
+  Vaddr vm_base{};
+  XpmemAttachment user_att{};
   static constexpr u64 kRegion = 4ull << 20;
 
   ShmFixture() {
     node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
     node.add_cokernel("ck", 0, {6, 7}, 64ull << 20);
+    node.add_vm("vm", "linux", 128_MiB, {4, 5});
   }
 
   sim::Task<void> setup() {
@@ -48,10 +54,25 @@ struct ShmFixture {
     co_await node.enclave("linux").touch_attached(*user, att.value().va,
                                                   att.value().pages);
     user_base = att.value().va;
+    user_att = att.value();
+  }
+
+  /// Additionally attach the region from the guest-Linux VM.
+  sim::Task<void> setup_vm_view() {
+    auto grant = co_await node.kernel("vm").xpmem_get(user_att.segid);
+    XEMEM_ASSERT(grant.ok());
+    vm_user = node.enclave("vm").create_process(1_MiB).value();
+    auto att = co_await node.kernel("vm").xpmem_attach(*vm_user, grant.value(), 0,
+                                                       kRegion);
+    XEMEM_ASSERT(att.ok());
+    co_await node.enclave("vm").touch_attached(*vm_user, att.value().va,
+                                               att.value().pages);
+    vm_base = att.value().va;
   }
 
   os::Enclave& ck() { return node.enclave("ck"); }
   os::Enclave& lin() { return node.enclave("linux"); }
+  os::Enclave& vm() { return node.enclave("vm"); }
 };
 
 TEST(ShmSync, FlagSignalsAcrossEnclaves) {
@@ -60,16 +81,16 @@ TEST(ShmSync, FlagSignalsAcrossEnclaves) {
     co_await f.setup();
     shm::ShmFlag owner_view(f.ck(), *f.owner, f.owner_base);
     shm::ShmFlag user_view(f.lin(), *f.user, f.user_base);
-    owner_view.clear();
-    EXPECT_FALSE(user_view.is_raised());
+    CO_ASSERT_TRUE(owner_view.clear().ok());
+    EXPECT_FALSE(user_view.is_raised().value());
 
     auto raiser = [&]() -> sim::Task<void> {
       co_await sim::delay(3_ms);
-      owner_view.raise();
+      XEMEM_ASSERT(owner_view.raise().ok());
     };
     sim::Engine::current()->spawn(raiser());
     const u64 t0 = sim::now();
-    co_await user_view.wait();
+    CO_ASSERT_TRUE((co_await user_view.wait()).ok());
     EXPECT_GE(sim::now() - t0, 3_ms);
   };
   f.eng.run(main());
@@ -82,23 +103,23 @@ TEST(ShmSync, LockExcludesAcrossEnclaves) {
     shm::ShmLock owner_lock(f.ck(), *f.owner, f.owner_base);
     shm::ShmLock user_lock(f.lin(), *f.user, f.user_base);
     // Owner takes the lock; the attacher's try_lock must fail until release.
-    co_await owner_lock.lock();
-    EXPECT_FALSE(user_lock.try_lock());
-    owner_lock.unlock();
-    EXPECT_TRUE(user_lock.try_lock());
-    user_lock.unlock();
+    CO_ASSERT_TRUE((co_await owner_lock.lock()).ok());
+    EXPECT_FALSE(user_lock.try_lock().value());
+    CO_ASSERT_TRUE(owner_lock.unlock().ok());
+    EXPECT_TRUE(user_lock.try_lock().value());
+    CO_ASSERT_TRUE(user_lock.unlock().ok());
 
     // Blocking acquisition waits for the holder.
-    co_await owner_lock.lock();
+    CO_ASSERT_TRUE((co_await owner_lock.lock()).ok());
     auto releaser = [&]() -> sim::Task<void> {
       co_await sim::delay(2_ms);
-      owner_lock.unlock();
+      XEMEM_ASSERT(owner_lock.unlock().ok());
     };
     sim::Engine::current()->spawn(releaser());
     const u64 t0 = sim::now();
-    co_await user_lock.lock();
+    CO_ASSERT_TRUE((co_await user_lock.lock()).ok());
     EXPECT_GE(sim::now() - t0, 2_ms);
-    user_lock.unlock();
+    CO_ASSERT_TRUE(user_lock.unlock().ok());
   };
   f.eng.run(main());
 }
@@ -109,15 +130,15 @@ TEST(ShmSync, BarrierSynchronizesAndReuses) {
     co_await f.setup();
     shm::ShmBarrier a(f.ck(), *f.owner, f.owner_base, 2);
     shm::ShmBarrier b(f.lin(), *f.user, f.user_base, 2);
-    a.init();
+    CO_ASSERT_TRUE(a.init().ok());
     std::vector<u64> releases;
     auto party = [&](shm::ShmBarrier* bar, sim::Duration d1,
                      sim::Duration d2) -> sim::Task<void> {
       co_await sim::delay(d1);
-      co_await bar->arrive_and_wait();
+      XEMEM_ASSERT((co_await bar->arrive_and_wait()).ok());
       releases.push_back(sim::now());
       co_await sim::delay(d2);
-      co_await bar->arrive_and_wait();  // second episode (sense reversal)
+      XEMEM_ASSERT((co_await bar->arrive_and_wait()).ok());  // sense reversal
       releases.push_back(sim::now());
     };
     sim::Engine::current()->spawn(party(&a, 1_ms, 5_ms));
@@ -131,23 +152,177 @@ TEST(ShmSync, BarrierSynchronizesAndReuses) {
   f.eng.run(main());
 }
 
+// Sense reversal across >= 3 consecutive generations with a mixed
+// Linux/Kitten/VM party set: each generation must release all three
+// parties at the latest arrival, and the sense word must keep flipping so
+// no party ever runs ahead into the next generation.
+TEST(ShmSync, BarrierManyGenerationsMixedLinuxKittenVm) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    co_await f.setup_vm_view();
+    constexpr u64 kBar = 128;  // barrier words inside the region
+    shm::ShmBarrier ck_bar(f.ck(), *f.owner, f.owner_base + kBar, 3);
+    shm::ShmBarrier lin_bar(f.lin(), *f.user, f.user_base + kBar, 3);
+    shm::ShmBarrier vm_bar(f.vm(), *f.vm_user, f.vm_base + kBar, 3);
+    CO_ASSERT_TRUE(ck_bar.init().ok());
+
+    constexpr int kGenerations = 4;
+    // Per-party arrival offsets: a different straggler every generation.
+    const sim::Duration delays[3][kGenerations] = {
+        {1_ms, 6_ms, 1_ms, 2_ms},   // kitten
+        {5_ms, 1_ms, 2_ms, 7_ms},   // linux
+        {2_ms, 2_ms, 8_ms, 1_ms},   // vm
+    };
+    std::vector<std::vector<u64>> releases(3);
+    auto party = [&](int who, shm::ShmBarrier* bar) -> sim::Task<void> {
+      for (int g = 0; g < kGenerations; ++g) {
+        co_await sim::delay(delays[who][g]);
+        XEMEM_ASSERT((co_await bar->arrive_and_wait()).ok());
+        releases[who].push_back(sim::now());
+      }
+    };
+    sim::Engine::current()->spawn(party(0, &ck_bar));
+    sim::Engine::current()->spawn(party(1, &lin_bar));
+    co_await party(2, &vm_bar);
+
+    for (int who = 0; who < 3; ++who) {
+      CO_ASSERT_TRUE(releases[who].size() == kGenerations);
+    }
+    u64 prev_release = 0;
+    u64 expected_floor = 0;
+    for (int g = 0; g < kGenerations; ++g) {
+      // All three parties release together (within one poll interval)...
+      const u64 r0 = releases[0][g];
+      EXPECT_LT(releases[1][g], r0 + 20_us) << "generation " << g;
+      EXPECT_LT(releases[2][g], r0 + 20_us) << "generation " << g;
+      EXPECT_GE(releases[1][g] + 20_us, r0) << "generation " << g;
+      // ...no earlier than the generation's latest arrival...
+      sim::Duration slowest = 0;
+      for (int who = 0; who < 3; ++who) slowest = std::max(slowest, delays[who][g]);
+      expected_floor += slowest;
+      EXPECT_GE(r0, expected_floor) << "generation " << g;
+      // ...and strictly after the previous generation (no run-ahead).
+      EXPECT_GT(r0, prev_release) << "generation " << g;
+      prev_release = r0;
+    }
+  };
+  f.eng.run(main());
+}
+
 TEST(ShmSync, CounterPublishesProgress) {
   ShmFixture f;
   auto main = [&]() -> sim::Task<void> {
     co_await f.setup();
     shm::ShmCounter prod(f.ck(), *f.owner, f.owner_base + 64);
     shm::ShmCounter cons(f.lin(), *f.user, f.user_base + 64);
-    prod.publish(0);
+    CO_ASSERT_TRUE(prod.publish(0).ok());
     auto producer = [&]() -> sim::Task<void> {
       for (int i = 0; i < 5; ++i) {
         co_await sim::delay(1_ms);
-        prod.increment();
+        XEMEM_ASSERT(prod.increment().ok());
       }
     };
     sim::Engine::current()->spawn(producer());
-    co_await cons.wait_at_least(5);
+    CO_ASSERT_TRUE((co_await cons.wait_at_least(5)).ok());
     EXPECT_GE(sim::now(), 5_ms);
-    EXPECT_EQ(cons.read(), 5u);
+    EXPECT_EQ(cons.read().value(), 5u);
+  };
+  f.eng.run(main());
+}
+
+// ShmWord operations over a torn-down mapping must surface the proc_read/
+// proc_write failure as a Status instead of asserting — the collectives
+// crash path depends on this degrading gracefully.
+TEST(ShmSync, WordFailuresPropagateAfterDetach) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    shm::ShmWord word(f.lin(), *f.user, f.user_base);
+    CO_ASSERT_TRUE(word.store(7).ok());
+    EXPECT_EQ(word.load().value(), 7u);
+
+    CO_ASSERT_TRUE(
+        (co_await f.node.kernel("linux").xpmem_detach(*f.user, f.user_att)).ok());
+
+    EXPECT_EQ(word.load().error(), Errc::invalid_argument);
+    EXPECT_EQ(word.store(1).error(), Errc::invalid_argument);
+    EXPECT_EQ(word.cas(7, 9).error(), Errc::invalid_argument);
+    EXPECT_EQ(word.fetch_add(1).error(), Errc::invalid_argument);
+
+    // The higher-level primitives inherit the propagation: their waits
+    // fail immediately instead of spinning on a dead mapping.
+    shm::ShmFlag flag(f.lin(), *f.user, f.user_base);
+    EXPECT_EQ((co_await flag.wait(1_ms, 1_s)).error(), Errc::invalid_argument);
+    shm::ShmBarrier bar(f.lin(), *f.user, f.user_base, 2);
+    EXPECT_EQ((co_await bar.arrive_and_wait(1_ms, 1_s)).error(),
+              Errc::invalid_argument);
+    // The owner's view is unaffected.
+    shm::ShmWord owner_word(f.ck(), *f.owner, f.owner_base);
+    EXPECT_EQ(owner_word.load().value(), 7u);
+  };
+  f.eng.run(main());
+}
+
+// Writes through a read-only grant fail with permission_denied; the
+// read-side operations keep working.
+TEST(ShmSync, WordWriteThroughReadOnlyGrantDenied) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    auto grant =
+        co_await f.node.kernel("vm").xpmem_get(f.user_att.segid, AccessMode::read_only);
+    CO_ASSERT_TRUE(grant.ok());
+    f.vm_user = f.node.enclave("vm").create_process(1_MiB).value();
+    auto att = co_await f.node.kernel("vm").xpmem_attach(*f.vm_user, grant.value(),
+                                                         0, ShmFixture::kRegion);
+    CO_ASSERT_TRUE(att.ok());
+    co_await f.node.enclave("vm").touch_attached(*f.vm_user, att.value().va,
+                                                 att.value().pages);
+
+    shm::ShmWord owner_word(f.ck(), *f.owner, f.owner_base);
+    CO_ASSERT_TRUE(owner_word.store(42).ok());
+    shm::ShmWord ro_word(f.vm(), *f.vm_user, att.value().va);
+    EXPECT_EQ(ro_word.load().value(), 42u);
+    EXPECT_EQ(ro_word.store(1).error(), Errc::permission_denied);
+    EXPECT_EQ(ro_word.cas(42, 1).error(), Errc::permission_denied);
+    EXPECT_EQ(ro_word.fetch_add(1).error(), Errc::permission_denied);
+    EXPECT_EQ(owner_word.load().value(), 42u) << "failed RMW left no partial write";
+  };
+  f.eng.run(main());
+}
+
+// Timeout expiry on the polling waits: Errc::unreachable after the
+// configured bound, not a hang.
+TEST(ShmSync, WaitTimeoutsExpireWithUnreachable) {
+  ShmFixture f;
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup();
+    shm::ShmFlag flag(f.lin(), *f.user, f.user_base);
+    CO_ASSERT_TRUE(flag.clear().ok());
+    u64 t0 = sim::now();
+    EXPECT_EQ((co_await flag.wait(100_us, 5_ms)).error(), Errc::unreachable);
+    EXPECT_GE(sim::now() - t0, 5_ms);
+    EXPECT_LT(sim::now() - t0, 6_ms);
+
+    // A barrier whose partner never arrives.
+    shm::ShmBarrier bar(f.ck(), *f.owner, f.owner_base + 64, 2);
+    CO_ASSERT_TRUE(bar.init().ok());
+    t0 = sim::now();
+    EXPECT_EQ((co_await bar.arrive_and_wait(100_us, 3_ms)).error(),
+              Errc::unreachable);
+    EXPECT_GE(sim::now() - t0, 3_ms);
+
+    // A counter that never reaches its target.
+    shm::ShmCounter ctr(f.lin(), *f.user, f.user_base + 64);
+    EXPECT_EQ((co_await ctr.wait_at_least(100, 100_us, 2_ms)).error(),
+              Errc::unreachable);
+
+    // A lock whose holder never releases.
+    shm::ShmLock lock(f.ck(), *f.owner, f.owner_base + 96);
+    CO_ASSERT_TRUE(lock.try_lock().value());
+    shm::ShmLock user_lock(f.lin(), *f.user, f.user_base + 96);
+    EXPECT_EQ((co_await user_lock.lock(100_us, 2_ms)).error(), Errc::unreachable);
   };
   f.eng.run(main());
 }
