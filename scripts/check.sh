@@ -22,6 +22,10 @@ if [[ $asan_only -eq 0 ]]; then
 
   echo "== collectives bench smoke (JSON next to the ablations) =="
   ./build/bench/collectives_scaling --quick --json build/collectives_scaling.json
+
+  echo "== attach fast-path ablation smoke =="
+  ./build/bench/ablation_attach_path --quick --json build/attach_path.json
+  cp build/attach_path.json BENCH_attach_path.json
 fi
 
 if [[ $fast -eq 0 ]]; then
@@ -32,6 +36,9 @@ if [[ $fast -eq 0 ]]; then
 
   echo "== collectives bench smoke (asan) =="
   ./build-asan/bench/collectives_scaling --quick --json build-asan/collectives_scaling.json
+
+  echo "== attach fast-path ablation smoke (asan) =="
+  ./build-asan/bench/ablation_attach_path --quick --json build-asan/attach_path.json
 fi
 
 echo "all checks passed"

@@ -142,6 +142,15 @@ class PhysicalMemory {
   /// the socket zones: the pin must be visible wherever the frame came
   /// from. Leak tests assert total_refs() == 0 after teardown.
   void ref(Pfn pfn) { ++share_refs_[pfn.value()]; }
+  /// Reference every frame of a contiguous run. Pinning works run-at-a-time
+  /// so callers holding extent-compressed frame lists never expand them just
+  /// to bump refcounts.
+  void ref_run(FrameExtent ext) {
+    for (u64 i = 0; i < ext.count; ++i) ++share_refs_[ext.start.value() + i];
+  }
+  void unref_run(FrameExtent ext) {
+    for (u64 i = 0; i < ext.count; ++i) unref(ext.start + i);
+  }
   void unref(Pfn pfn) {
     auto it = share_refs_.find(pfn.value());
     XEMEM_ASSERT_MSG(it != share_refs_.end() && it->second > 0,

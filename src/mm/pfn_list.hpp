@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 #include "hw/phys_mem.hpp"
 
@@ -22,6 +23,11 @@ namespace xemem::mm {
 /// A flat page-frame list with helpers for wire-size accounting and
 /// extent compression.
 struct PfnList {
+  /// Bytes one extent occupies on a channel: 8 B start frame + 4 B run
+  /// length (run lengths never exceed an enclave's frame count, which fits
+  /// 32 bits for any machine this simulates).
+  static constexpr u64 kExtentWireBytes = 12;
+
   std::vector<Pfn> pfns;
 
   u64 page_count() const { return pfns.size(); }
@@ -31,9 +37,24 @@ struct PfnList {
   /// the u64 frame numbers the real implementation ships).
   u64 wire_bytes() const { return pfns.size() * sizeof(u64); }
 
+  /// Number of maximal contiguous runs, without materializing them.
+  u64 extent_count() const {
+    u64 n = 0;
+    for (size_t i = 0; i < pfns.size(); ++i) {
+      if (i == 0 || pfns[i - 1].value() + 1 != pfns[i].value()) ++n;
+    }
+    return n;
+  }
+
+  /// Bytes the extent encoding of this list would occupy on a channel.
+  /// Counts runs in place so benches can report both encodings without
+  /// materializing the list twice.
+  u64 extent_wire_bytes() const { return extent_count() * kExtentWireBytes; }
+
   /// Collapse runs of consecutive frames into extents.
   std::vector<hw::FrameExtent> extents() const {
     std::vector<hw::FrameExtent> out;
+    out.reserve(extent_count());
     for (Pfn p : pfns) {
       if (!out.empty() && out.back().start.value() + out.back().count == p.value()) {
         ++out.back().count;
@@ -44,9 +65,22 @@ struct PfnList {
     return out;
   }
 
+  /// Copy of pages [first, first + count) of this list (attachment reuse
+  /// maps sub-windows of an already-fetched frame list).
+  PfnList slice(u64 first, u64 count) const {
+    XEMEM_ASSERT(first + count <= pfns.size());
+    PfnList l;
+    l.pfns.assign(pfns.begin() + static_cast<long>(first),
+                  pfns.begin() + static_cast<long>(first + count));
+    return l;
+  }
+
   /// Expand extents back to a flat list (inverse of extents()).
   static PfnList from_extents(const std::vector<hw::FrameExtent>& exts) {
     PfnList l;
+    u64 total = 0;
+    for (const auto& e : exts) total += e.count;
+    l.pfns.reserve(total);
     for (auto e : exts) {
       for (u64 i = 0; i < e.count; ++i) l.pfns.push_back(e.start + i);
     }

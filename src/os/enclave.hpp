@@ -103,6 +103,18 @@ class Enclave {
                                                   const mm::PfnList& host_frames,
                                                   bool lazy, bool writable) = 0;
 
+  /// Extent-aware attach-side mapping: like map_attachment, but consumes
+  /// the wire's extent-compressed frame runs directly. The base
+  /// implementation expands to a flat list; native personalities override
+  /// to map run-at-a-time without materializing per-page PFNs (and Kitten
+  /// picks 2 MiB entries per suitably aligned run in large-page mode).
+  virtual sim::Task<Result<Vaddr>> map_attachment_extents(
+      Process& attacher, const std::vector<hw::FrameExtent>& extents, bool lazy,
+      bool writable) {
+    co_return co_await map_attachment(
+        attacher, mm::PfnList::from_extents(extents), lazy, writable);
+  }
+
   /// First-touch of an attached range (demand-fault charges where the
   /// personality maps lazily; no-op otherwise).
   virtual sim::Task<void> touch_attached(Process& attacher, Vaddr va,

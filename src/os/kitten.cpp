@@ -86,6 +86,40 @@ sim::Task<Result<Vaddr>> KittenEnclave::map_attachment(Process& attacher,
   co_return va;
 }
 
+sim::Task<Result<Vaddr>> KittenEnclave::map_attachment_extents(
+    Process& attacher, const std::vector<hw::FrameExtent>& extents, bool lazy,
+    bool writable) {
+  (void)lazy;  // Kitten always maps eagerly — it has no fault path at all.
+  // Extent-aware variant of map_attachment: one map_range call per run,
+  // never materializing the flat per-page list. Runs are maximal, so
+  // large-page candidates never straddle run boundaries and map_range_best
+  // finds exactly the 2 MiB entries the flat path would.
+  constexpr u64 kSpan = mm::PageTable::kLargeSpan;
+  u64 pages = 0;
+  for (const auto& e : extents) pages += e.count;
+  const Vaddr va = large_pages_
+                       ? attacher.alloc_va_aligned(pages * kPageSize, kSpan * kPageSize)
+                       : attacher.alloc_va(pages * kPageSize);
+  const mm::PageFlags flags =
+      writable ? mm::PageFlags::writable | mm::PageFlags::user : mm::PageFlags::user;
+  mm::WalkStats st;
+  Vaddr cur = va;
+  std::vector<Pfn> run;
+  for (const auto& e : extents) {
+    run.clear();
+    run.reserve(e.count);
+    for (u64 i = 0; i < e.count; ++i) run.push_back(e.start + i);
+    auto r = large_pages_ ? attacher.pt().map_range_best(cur, run, flags, &st)
+                          : attacher.pt().map_range(cur, run, flags, &st);
+    if (!r.ok()) co_return r.error();  // fresh VA region: cannot conflict
+    cur += e.count * kPageSize;
+  }
+  const u64 cost =
+      st.entries_visited * costs::kPtEntryVisit + pages * costs::kKittenMapPerPage;
+  co_await attacher.core()->compute(cost);
+  co_return va;
+}
+
 sim::Task<void> KittenEnclave::touch_attached(Process&, Vaddr, u64) {
   co_return;  // everything is mapped eagerly; first touch costs nothing extra
 }

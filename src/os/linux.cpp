@@ -69,6 +69,45 @@ sim::Task<Result<Vaddr>> LinuxEnclave::map_attachment(Process& attacher,
   co_return va;
 }
 
+sim::Task<Result<Vaddr>> LinuxEnclave::map_attachment_extents(
+    Process& attacher, const std::vector<hw::FrameExtent>& extents, bool lazy,
+    bool writable) {
+  if (lazy) {
+    // Single-OS fault semantics tracks per-page fault-in state: keep the
+    // flat-list path, which the lazy_ bookkeeping is built around.
+    co_return co_await map_attachment(attacher, mm::PfnList::from_extents(extents),
+                                      lazy, writable);
+  }
+  // Eager remote attachment, run-at-a-time: same remap_pfn_range cost
+  // model as map_attachment, without materializing per-page PFNs first.
+  u64 pages = 0;
+  for (const auto& e : extents) pages += e.count;
+  const Vaddr va = attacher.alloc_va(pages * kPageSize);
+  ++attach_inflight_;
+  const mm::PageFlags flags =
+      writable ? mm::PageFlags::writable | mm::PageFlags::user : mm::PageFlags::user;
+  mm::WalkStats st;
+  Vaddr cur = va;
+  std::vector<Pfn> run;
+  for (const auto& e : extents) {
+    run.clear();
+    run.reserve(e.count);
+    for (u64 i = 0; i < e.count; ++i) run.push_back(e.start + i);
+    auto r = attacher.pt().map_range(cur, run, flags, &st);
+    if (!r.ok()) {
+      --attach_inflight_;
+      co_return r.error();
+    }
+    cur += e.count * kPageSize;
+  }
+  const double per_page = static_cast<double>(costs::kLinuxMapPerPage) * smp_factor();
+  const u64 cost = st.entries_visited * costs::kPtEntryVisit +
+                   static_cast<u64>(static_cast<double>(pages) * per_page);
+  co_await attacher.core()->compute(cost);
+  --attach_inflight_;
+  co_return va;
+}
+
 sim::Task<void> LinuxEnclave::touch_attached(Process& attacher, Vaddr va, u64 pages) {
   auto it = lazy_.find(lazy_key(attacher, va));
   if (it == lazy_.end()) co_return;  // eagerly-mapped range: no fault cost

@@ -61,11 +61,20 @@ void XememKernel::crash() {
   // behalf of attachers is released. Attachments in surviving enclaves
   // keep their (now dangling) mappings until they detach, exactly like an
   // abrupt peer death on real hardware.
-  for (auto& [h, rec] : pins_) unpin_frames(rec.frames);
+  for (auto& [h, rec] : pins_) unpin_frames(rec.frames.extents());
   pins_.clear();
   exports_.clear();
   pending_fwd_.clear();
   fwd_log_.clear();
+  // Attach fast-path caches die with the kernel: memoized walks reference
+  // exports that no longer exist, learned owner routes will be retired by
+  // lease expiry, and the reuse entries' owner-side pins are orphaned just
+  // like any attachment whose attacher dies without detaching.
+  walk_cache_.clear();
+  walk_fifo_.clear();
+  owner_cache_.clear();
+  owner_fifo_.clear();
+  attach_cache_.clear();
   XLOG_WARN("xemem", "%s: enclave crashed (abrupt)", os_.name().c_str());
 }
 
@@ -99,6 +108,11 @@ sim::Task<Result<void>> XememKernel::shutdown() {
   ChannelEndpoint* via = route_for(bye.dst);
   if (via != nullptr) co_await via->send(std::move(bye));
   stopped_ = true;
+  walk_cache_.clear();
+  walk_fifo_.clear();
+  owner_cache_.clear();
+  owner_fifo_.clear();
+  attach_cache_.clear();
   co_return Result<void>{};
 }
 
@@ -278,6 +292,11 @@ sim::Task<Result<Message>> XememKernel::request(Message msg, ChannelEndpoint* vi
       // the default route and rediscovers.
       if (msg.dst != EnclaveId::invalid() && msg.dst != EnclaveId{0}) {
         enclave_map_.erase(msg.dst.value());
+        // Learned-route invalidation extends to the segid->owner cache:
+        // anything we believed this enclave owned must be re-resolved
+        // through the name server, which will have garbage-collected the
+        // segids if the owner really died (lease expiry).
+        drop_owner_cache_for(msg.dst);
       }
       // If the silent link was our path toward the name server, forget it
       // and re-run discovery over the remaining channels (the enclave ID
@@ -307,10 +326,34 @@ sim::Task<Result<Message>> XememKernel::request_to_owner(Message msg) {
     msg.dst = it->second.owner;
     XEMEM_ASSERT_MSG(msg.dst != EnclaveId{0},
                      "NS-owned segid must use the local fast path");
-  } else {
-    msg.dst = EnclaveId{0};
+    co_return co_await request(std::move(msg));
   }
-  co_return co_await request(std::move(msg));
+
+  // Fast path: a previous response taught us which enclave owns this
+  // segid, so address it directly — intermediate enclaves forward by
+  // destination id and the request never climbs to the name server for a
+  // lookup. A stale entry must never change outcomes: on transport
+  // failure or a no-such-segid answer (removed/crashed owner), drop the
+  // entry and fall back once to the authoritative name-server route.
+  const Segid sid = msg.segid;
+  auto cached = owner_cache_.find(sid.value());
+  if (cached != owner_cache_.end()) {
+    Message direct = msg;
+    direct.dst = cached->second;
+    ++stats_.lookup_cache_hits;
+    auto fast = co_await request(std::move(direct));
+    if (fast.ok() && fast.value().status != Errc::no_such_segid) {
+      co_return fast;
+    }
+    drop_owner_cache(sid);
+  }
+
+  msg.dst = EnclaveId{0};
+  auto resp = co_await request(std::move(msg));
+  if (cfg_.owner_route_cache && resp.ok() && resp.value().status == Errc::ok) {
+    cache_owner(sid, resp.value().src);
+  }
+  co_return resp;
 }
 
 sim::Task<void> XememKernel::forward(Message msg, ChannelEndpoint* from) {
@@ -332,7 +375,11 @@ sim::Task<void> XememKernel::forward(Message msg, ChannelEndpoint* from) {
   // Note: out == from is legitimate — e.g. the name server bouncing an
   // attach back down the same link when the owner lives in the subtree the
   // request came from. The hierarchy is a tree, so forwarding terminates.
-  XEMEM_ASSERT_MSG(out != nullptr, "routing dead end");
+  // A missing route is reachable, not a bug: owner-cache direct addressing
+  // can target an enclave whose route the name server's lease GC already
+  // reclaimed. Drop the message; the sender's retry/timeout machinery owns
+  // recovery (and evicts its stale cache entry on exhaustion).
+  if (out == nullptr) co_return;
   co_await os_.service_core()->run_irq(costs::kRouteHop);
   co_await out->send(std::move(msg));
 }
@@ -684,24 +731,44 @@ sim::Task<Message> XememKernel::serve_attach(const Message& msg) {
     co_return resp;
   }
 
-  auto frames = co_await os_.service_make_pfn_list(*rec.proc,
-                                                   rec.va + msg.offset, pages);
-  if (!frames.ok()) {
-    resp.status = frames.error();
-    co_return resp;
+  mm::PfnList frames;
+  const auto walk_key = std::make_tuple(msg.segid.value(), msg.offset, pages);
+  auto memo = walk_cache_.find(walk_key);
+  if (memo != walk_cache_.end()) {
+    // Repeat window: reuse the memoized page-table walk. Frames are still
+    // pinned per attachment below (each pin record unpins independently on
+    // detach), but the walk cost — and for guest enclaves the PCI staging
+    // of the frame list — is paid once per window, not once per attacher.
+    frames = memo->second;
+    ++stats_.walk_cache_hits;
+  } else {
+    auto walked = co_await os_.service_make_pfn_list(*rec.proc,
+                                                     rec.va + msg.offset, pages);
+    if (!walked.ok()) {
+      resp.status = walked.error();
+      co_return resp;
+    }
+    frames = std::move(walked).value();
+    if (cfg_.walk_cache) {
+      walk_cache_.emplace(walk_key, frames);
+      walk_fifo_.push_back(walk_key);
+      while (walk_fifo_.size() > cfg_.walk_cache_cap) {
+        walk_cache_.erase(walk_fifo_.front());
+        walk_fifo_.pop_front();
+      }
+    }
   }
-  pin_frames(frames.value());
+  pin_frames(frames.extents());
   ++stats_.attaches_served;
-  stats_.pages_shared += frames.value().page_count();
+  stats_.pages_shared += frames.page_count();
   const u64 handle = next_handle_++;
   ++rec.attachments;
   resp.status = Errc::ok;
   resp.segid = msg.segid;
   resp.offset = handle;  // owner-side pin handle, echoed back on detach
   resp.size = msg.size;
-  resp.payload.reserve(frames.value().page_count());
-  for (Pfn p : frames.value().pfns) resp.payload.push_back(p.value());
-  pins_.emplace(handle, PinRecord{msg.segid, std::move(frames).value()});
+  encode_pfn_payload(resp, frames);
+  pins_.emplace(handle, PinRecord{msg.segid, std::move(frames)});
   co_return resp;
 }
 
@@ -717,7 +784,7 @@ sim::Task<Message> XememKernel::serve_detach(const Message& msg) {
     resp.status = Errc::not_attached;
     co_return resp;
   }
-  unpin_frames(pin->second.frames);
+  unpin_frames(pin->second.frames.extents());
   pins_.erase(pin);
   auto ex = exports_.find(msg.segid.value());
   if (ex != exports_.end()) {
@@ -728,14 +795,71 @@ sim::Task<Message> XememKernel::serve_detach(const Message& msg) {
   co_return resp;
 }
 
-void XememKernel::pin_frames(const mm::PfnList& frames) {
+void XememKernel::pin_frames(const std::vector<hw::FrameExtent>& runs) {
   auto& pm = os_.machine().pmem();
-  for (Pfn p : frames.pfns) pm.ref(p);
+  for (const auto& e : runs) pm.ref_run(e);
 }
 
-void XememKernel::unpin_frames(const mm::PfnList& frames) {
+void XememKernel::unpin_frames(const std::vector<hw::FrameExtent>& runs) {
   auto& pm = os_.machine().pmem();
-  for (Pfn p : frames.pfns) pm.unref(p);
+  for (const auto& e : runs) pm.unref_run(e);
+}
+
+void XememKernel::encode_pfn_payload(Message& resp, const mm::PfnList& frames) {
+  const u64 flat_bytes = frames.wire_bytes();
+  if (cfg_.extent_wire) {
+    const u64 ext_bytes = frames.extent_wire_bytes();
+    // Pick the smaller encoding: a fully scattered list costs 12 B/extent
+    // vs 8 B/page flat, so compression is not unconditionally a win.
+    if (ext_bytes < flat_bytes) {
+      resp.extents = frames.extents();
+      stats_.extents_shipped += resp.extents.size();
+      stats_.wire_bytes_saved += flat_bytes - ext_bytes;
+      return;
+    }
+  }
+  resp.payload.reserve(resp.payload.size() + frames.page_count());
+  for (Pfn p : frames.pfns) resp.payload.push_back(p.value());
+}
+
+mm::PfnList XememKernel::decode_pfn_payload(const Message& resp) {
+  if (!resp.extents.empty()) return mm::PfnList::from_extents(resp.extents);
+  mm::PfnList frames;
+  frames.pfns.reserve(resp.payload.size());
+  for (u64 v : resp.payload) frames.pfns.push_back(Pfn{v});
+  return frames;
+}
+
+void XememKernel::cache_owner(Segid segid, EnclaveId owner) {
+  if (!cfg_.owner_route_cache || !owner.valid() || owner == EnclaveId{0} ||
+      owner == id()) {
+    return;
+  }
+  if (!owner_cache_.contains(segid.value())) owner_fifo_.push_back(segid.value());
+  owner_cache_[segid.value()] = owner;
+  while (owner_fifo_.size() > cfg_.owner_cache_cap) {
+    owner_cache_.erase(owner_fifo_.front());
+    owner_fifo_.pop_front();
+  }
+}
+
+void XememKernel::drop_owner_cache(Segid segid) {
+  // The FIFO entry stays behind; evicting an already-dropped key later is
+  // a harmless no-op and the deque is bounded by owner_cache_cap anyway.
+  owner_cache_.erase(segid.value());
+}
+
+void XememKernel::drop_owner_cache_for(EnclaveId dead) {
+  for (auto it = owner_cache_.begin(); it != owner_cache_.end();) {
+    it = it->second == dead ? owner_cache_.erase(it) : std::next(it);
+  }
+}
+
+void XememKernel::drop_walk_cache(Segid segid) {
+  for (auto it = walk_cache_.begin(); it != walk_cache_.end();) {
+    it = std::get<0>(it->first) == segid.value() ? walk_cache_.erase(it)
+                                                 : std::next(it);
+  }
 }
 
 u64 XememKernel::pinned_frames() const {
@@ -801,6 +925,10 @@ sim::Task<Result<void>> XememKernel::xpmem_remove(os::Process& owner, Segid segi
     if (resp.value().status != Errc::ok) co_return resp.value().status;
   }
   exports_.erase(it);
+  // The export is gone: memoized walks for it must never serve again (a
+  // later attach must fail no_such_segid, not hand out freed frames).
+  drop_walk_cache(segid);
+  drop_owner_cache(segid);
   co_return Result<void>{};
 }
 
@@ -844,6 +972,12 @@ sim::Task<Result<void>> XememKernel::xpmem_release(const XpmemGrant& grant) {
     auto ns = ns_segids_.find(grant.segid.value());
     if (ns == ns_segids_.end()) co_return Errc::no_such_segid;
     req.dst = ns->second.owner;
+  } else if (auto oc = owner_cache_.find(grant.segid.value());
+             oc != owner_cache_.end()) {
+    // One-way releases benefit from the owner cache too: send straight to
+    // the owner instead of bouncing off the name server.
+    req.dst = oc->second;
+    ++stats_.lookup_cache_hits;
   }
   ChannelEndpoint* via = route_for(req.dst);
   if (via == nullptr) co_return Errc::unreachable;
@@ -874,15 +1008,14 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
     auto frames =
         co_await os_.service_make_pfn_list(*rec.proc, rec.va + page_off, pages);
     if (!frames.ok()) co_return frames.error();
-    pin_frames(frames.value());
-    ++stats_.attaches_served;
-    ++stats_.attaches_issued;
+    pin_frames(frames.value().extents());
+    ++stats_.local_attaches;
     stats_.pages_shared += frames.value().page_count();
     auto va = co_await os_.map_attachment(attacher, frames.value(),
                                           os_.lazy_local_attach(),
                                           grant.mode == AccessMode::read_write);
     if (!va.ok()) {
-      unpin_frames(frames.value());
+      unpin_frames(frames.value().extents());
       co_return va.error();
     }
     const u64 handle = next_handle_++;
@@ -890,6 +1023,34 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
     pins_.emplace(handle, PinRecord{grant.segid, std::move(frames).value()});
     co_return XpmemAttachment{grant.segid, va.value() + sub, va.value(), pages,
                               id(), handle, true};
+  }
+
+  const bool writable = grant.mode == AccessMode::read_write;
+
+  // Attacher-side mapping reuse: a window contained in one of our live
+  // attachments of this segment needs no protocol traffic at all — the
+  // frames are known and the owner already holds a pin covering them.
+  // Install a fresh local mapping and share the owner-side pin by
+  // refcount; the last detach releases it remotely. Safe against reuse of
+  // stale frames because entries only exist while their remote pin does
+  // (detach/crash erase them) and segids are never recycled.
+  if (cfg_.attach_reuse) {
+    for (auto& [key, entry] : attach_cache_) {
+      if (key.first != grant.segid.value()) continue;
+      if (entry.page_off > page_off ||
+          page_off + pages * kPageSize > entry.page_off + entry.pages * kPageSize) {
+        continue;
+      }
+      auto va = co_await os_.map_attachment(
+          attacher,
+          entry.frames.slice((page_off - entry.page_off) >> kPageShift, pages),
+          false, writable);
+      if (!va.ok()) co_return va.error();
+      ++entry.refs;
+      ++stats_.reuse_hits;
+      co_return XpmemAttachment{grant.segid, va.value() + sub, va.value(),
+                                pages, entry.owner, key.second, false};
+    }
   }
 
   // Remote path: route the attach through the name server to the owner.
@@ -904,13 +1065,21 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
   Message& r = resp.value();
   if (r.status != Errc::ok) co_return r.status;
 
-  mm::PfnList frames;
-  frames.pfns.reserve(r.payload.size());
-  for (u64 v : r.payload) frames.pfns.push_back(Pfn{v});
+  mm::PfnList frames = decode_pfn_payload(r);
   ++stats_.attaches_issued;
-  auto va = co_await os_.map_attachment(attacher, frames, false,
-                                        grant.mode == AccessMode::read_write);
+  // An extent-encoded response hands its runs straight to the extent-aware
+  // mapping path, which maps run-at-a-time (and lets Kitten pick 2 MiB
+  // entries per aligned run) instead of expanding to a flat list first.
+  auto va = r.extents.empty()
+                ? co_await os_.map_attachment(attacher, frames, false, writable)
+                : co_await os_.map_attachment_extents(attacher, r.extents,
+                                                      false, writable);
   if (!va.ok()) co_return va.error();
+  if (cfg_.attach_reuse) {
+    attach_cache_.emplace(
+        std::make_pair(grant.segid.value(), r.offset),
+        ReuseEntry{page_off, pages, std::move(frames), r.src, 1});
+  }
   co_return XpmemAttachment{grant.segid, va.value() + sub, va.value(), pages,
                             r.src, r.offset, false};
 }
@@ -923,10 +1092,18 @@ sim::Task<Result<void>> XememKernel::xpmem_detach(os::Process& attacher,
   if (att.local) {
     auto pin = pins_.find(att.owner_handle);
     if (pin == pins_.end()) co_return Errc::not_attached;
-    unpin_frames(pin->second.frames);
+    unpin_frames(pin->second.frames.extents());
     pins_.erase(pin);
     auto ex = exports_.find(att.segid.value());
     if (ex != exports_.end() && ex->second.attachments > 0) --ex->second.attachments;
+    co_return Result<void>{};
+  }
+
+  // Other local attachments may share this owner-side pin (attach_reuse):
+  // only the last one releases it remotely.
+  const auto reuse_key = std::make_pair(att.segid.value(), att.owner_handle);
+  auto cached = attach_cache_.find(reuse_key);
+  if (cached != attach_cache_.end() && --cached->second.refs > 0) {
     co_return Result<void>{};
   }
 
@@ -936,6 +1113,10 @@ sim::Task<Result<void>> XememKernel::xpmem_detach(os::Process& attacher,
   req.segid = att.segid;
   req.offset = att.owner_handle;
   auto resp = co_await request_to_owner(std::move(req));
+  // Erase by key, not iterator: a concurrent crash() clears the cache
+  // while we awaited the response. Drop the entry even on a failed detach
+  // (the owner is unreachable or gone; reusing its frames would be stale).
+  attach_cache_.erase(reuse_key);
   if (!resp.ok()) co_return resp.error();
   co_return resp.value().status == Errc::ok ? Result<void>{}
                                             : Result<void>{resp.value().status};

@@ -16,9 +16,12 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/costs.hpp"
@@ -59,6 +62,36 @@ struct KernelConfig {
   sim::Duration fwd_ttl{0};
   /// Responses remembered for duplicate suppression (FIFO eviction).
   u64 dedup_cache_cap{1024};
+
+  // ----- Attach fast path (all opt-in, like the lease machinery: the
+  // defaults reproduce the historical cold-path behavior so the paper
+  // harnesses keep measuring what the paper measured; tests, the
+  // attach-path ablation, and throughput-hungry deployments turn the
+  // layers on — see bench/ablation_attach_path and DESIGN.md §8).
+
+  /// Ship attach responses extent-compressed whenever that encoding is
+  /// smaller than 8 B/page flat PFNs (decoding is always supported, so
+  /// mixed configurations interoperate).
+  bool extent_wire{false};
+  /// Remember segid -> owner-enclave from successful responses so repeat
+  /// xpmem_get/attach/detach to a known segid address the owner directly,
+  /// skipping the name-server lookup hop.
+  bool owner_route_cache{false};
+  /// Memoize owner-side (segid, page_off, pages) -> PfnList page-table
+  /// walks so concurrent/repeat attachers of one window share one walk.
+  bool walk_cache{false};
+  /// Reuse already-fetched frames when re-attaching a window contained in
+  /// a live attachment of the same segment (no protocol traffic at all).
+  bool attach_reuse{false};
+  /// Entry caps for the two unbounded-growth caches (FIFO eviction).
+  u64 walk_cache_cap{64};
+  u64 owner_cache_cap{1024};
+
+  /// Convenience: turn on every attach fast-path layer.
+  KernelConfig& enable_attach_fast_path() {
+    extent_wire = owner_route_cache = walk_cache = attach_reuse = true;
+    return *this;
+  }
 };
 
 class XememKernel {
@@ -159,6 +192,12 @@ class XememKernel {
   u64 ns_name_count() const { return ns_names_.size(); }
   /// Whether the name server currently holds a live lease for @p e.
   bool ns_has_lease(EnclaveId e) const { return ns_leases_.contains(e.value()); }
+  /// Attach fast-path cache occupancy (invalidation tests assert these
+  /// drain back to zero after remove/crash/lease expiry).
+  u64 owner_cache_entries() const { return owner_cache_.size(); }
+  bool knows_owner(Segid s) const { return owner_cache_.contains(s.value()); }
+  u64 walk_cache_entries() const { return walk_cache_.size(); }
+  u64 attach_cache_entries() const { return attach_cache_.size(); }
 
   const KernelConfig& config() const { return cfg_; }
 
@@ -183,6 +222,12 @@ class XememKernel {
     u64 dup_suppressed{0};   ///< duplicate deliveries answered from cache
     u64 leases_expired{0};   ///< enclaves garbage-collected as name server
     u64 fwd_expired{0};      ///< forwarded requests whose response never came
+    u64 local_attaches{0};   ///< same-enclave attaches (local fast path)
+    u64 lookup_cache_hits{0};///< requests routed via the segid->owner cache
+    u64 walk_cache_hits{0};  ///< attaches served from a memoized walk
+    u64 reuse_hits{0};       ///< attaches satisfied from already-held frames
+    u64 extents_shipped{0};  ///< extent records sent in attach responses
+    u64 wire_bytes_saved{0}; ///< flat-PFN bytes avoided by extent encoding
   };
   const Stats& stats() const { return stats_; }
 
@@ -261,8 +306,20 @@ class XememKernel {
   sim::Task<Message> serve_attach(const Message& msg);
   sim::Task<Message> serve_detach(const Message& msg);
 
-  void pin_frames(const mm::PfnList& frames);
-  void unpin_frames(const mm::PfnList& frames);
+  // Pin bookkeeping works run-at-a-time so extent-compressed frame lists
+  // never expand just to bump refcounts.
+  void pin_frames(const std::vector<hw::FrameExtent>& runs);
+  void unpin_frames(const std::vector<hw::FrameExtent>& runs);
+
+  // Attach fast-path plumbing. encode_pfn_payload puts @p frames on an
+  // attach response in whichever encoding is smaller (extent runs vs flat
+  // PFNs) and accounts the savings; decode handles both unconditionally.
+  void encode_pfn_payload(Message& resp, const mm::PfnList& frames);
+  static mm::PfnList decode_pfn_payload(const Message& resp);
+  void cache_owner(Segid segid, EnclaveId owner);
+  void drop_owner_cache(Segid segid);
+  void drop_owner_cache_for(EnclaveId dead);
+  void drop_walk_cache(Segid segid);
 
   os::Enclave& os_;
   bool is_ns_;
@@ -291,6 +348,31 @@ class XememKernel {
   std::unordered_map<u64, ExportRecord> exports_;
   // Owner-side pins keyed by handle.
   std::unordered_map<u64, PinRecord> pins_;
+
+  // ----------------------------------------------- attach fast-path state
+  // segid -> owning enclave, learned from successful responses. A stale
+  // entry is harmless: a direct request that fails (or answers
+  // no_such_segid) drops the entry and falls back to the authoritative
+  // name-server route.
+  std::unordered_map<u64, EnclaveId> owner_cache_;
+  std::deque<u64> owner_fifo_;
+  // Owner-side memoized page-table walks keyed (segid, page_off, pages).
+  // Segids are globally unique and never recycled, so entries can only go
+  // stale via xpmem_remove/crash — both flush them.
+  std::map<std::tuple<u64, u64, u64>, mm::PfnList> walk_cache_;
+  std::deque<std::tuple<u64, u64, u64>> walk_fifo_;
+  // Attacher-side live remote attachments keyed (segid, owner pin handle),
+  // for containment-based mapping reuse. refs counts local attachments
+  // sharing the one owner-side pin; the last detach releases it remotely.
+  struct ReuseEntry {
+    u64 page_off;
+    u64 pages;
+    mm::PfnList frames;
+    EnclaveId owner;
+    u64 refs;
+  };
+  std::map<std::pair<u64, u64>, ReuseEntry> attach_cache_;
+
   u64 next_handle_{1};
   u32 next_req_{1};
 

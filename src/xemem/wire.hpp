@@ -14,6 +14,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "mm/pfn_list.hpp"
 
 namespace xemem {
 
@@ -70,6 +71,15 @@ struct Message {
 
   /// PFN list (attach_resp) or other bulk payload, as raw u64s.
   std::vector<u64> payload;
+  /// Extent-compressed PFN payload (attach_resp): runs of physically
+  /// contiguous frames at mm::PfnList::kExtentWireBytes each. An attach
+  /// response carries its frames either here or flat in `payload`, never
+  /// both — the owner picks whichever encoding is smaller (a contiguous
+  /// Kitten export is O(1) extents instead of 8 B/page; see §5.4 of the
+  /// paper for the per-page overhead this removes from the channel).
+  /// Receivers must decode both forms unconditionally so mixed kernel
+  /// configurations interoperate.
+  std::vector<hw::FrameExtent> extents;
   /// Well-known name for publish/lookup.
   std::string name;
 
@@ -78,7 +88,8 @@ struct Message {
 
   /// Bytes this message occupies on a channel.
   u64 wire_bytes() const {
-    return kHeaderBytes + payload.size() * sizeof(u64) + name.size();
+    return kHeaderBytes + payload.size() * sizeof(u64) +
+           extents.size() * mm::PfnList::kExtentWireBytes + name.size();
   }
 
   bool is_response() const {

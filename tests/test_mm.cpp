@@ -196,5 +196,69 @@ TEST(PfnList, ExtentRoundTrip) {
   EXPECT_EQ(PfnList::from_extents(l.extents()).pfns, l.pfns);
 }
 
+// Property: extents()/from_extents() round-trip exactly, and the in-place
+// counters agree with the materialized extents, across random lists and
+// the degenerate shapes (empty, single page, fully contiguous, alternating
+// gap-per-page).
+TEST(PfnList, ExtentRoundTripProperty) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    PfnList l;
+    const u64 n = rng.uniform_u64(400);
+    u64 p = rng.uniform_u64(1 << 20);
+    for (u64 i = 0; i < n; ++i) {
+      // 60% continue the current run, 40% jump — exercises run lengths
+      // from 1 to hundreds within one list.
+      p += rng.uniform() < 0.6 ? 1 : 2 + rng.uniform_u64(1000);
+      l.pfns.push_back(Pfn{p});
+    }
+    const auto ext = l.extents();
+    EXPECT_EQ(ext.size(), l.extent_count());
+    EXPECT_EQ(l.extent_wire_bytes(), ext.size() * PfnList::kExtentWireBytes);
+    u64 total = 0;
+    for (const auto& e : ext) total += e.count;
+    EXPECT_EQ(total, l.page_count());
+    EXPECT_EQ(PfnList::from_extents(ext).pfns, l.pfns);
+  }
+}
+
+TEST(PfnList, ExtentRoundTripDegenerateShapes) {
+  PfnList empty;
+  EXPECT_EQ(empty.extent_count(), 0u);
+  EXPECT_EQ(empty.extent_wire_bytes(), 0u);
+  EXPECT_TRUE(PfnList::from_extents(empty.extents()).pfns.empty());
+
+  PfnList single;
+  single.pfns = {Pfn{77}};
+  ASSERT_EQ(single.extents().size(), 1u);
+  EXPECT_EQ(single.extent_count(), 1u);
+  EXPECT_EQ(PfnList::from_extents(single.extents()).pfns, single.pfns);
+
+  PfnList contiguous;
+  for (u64 i = 0; i < 1024; ++i) contiguous.pfns.push_back(Pfn{5000 + i});
+  EXPECT_EQ(contiguous.extent_count(), 1u);
+  EXPECT_EQ(contiguous.extent_wire_bytes(), PfnList::kExtentWireBytes);
+  EXPECT_LT(contiguous.extent_wire_bytes(), contiguous.wire_bytes());
+  EXPECT_EQ(PfnList::from_extents(contiguous.extents()).pfns, contiguous.pfns);
+
+  // Alternating: every page its own extent — the shape where extent
+  // encoding (12 B/extent) is strictly worse than flat (8 B/page).
+  PfnList alternating;
+  for (u64 i = 0; i < 64; ++i) alternating.pfns.push_back(Pfn{i * 2});
+  EXPECT_EQ(alternating.extent_count(), 64u);
+  EXPECT_GT(alternating.extent_wire_bytes(), alternating.wire_bytes());
+  EXPECT_EQ(PfnList::from_extents(alternating.extents()).pfns, alternating.pfns);
+}
+
+TEST(PfnList, SliceCopiesWindow) {
+  PfnList l;
+  for (u64 i = 0; i < 100; ++i) l.pfns.push_back(Pfn{i * 3});
+  const PfnList w = l.slice(10, 5);
+  ASSERT_EQ(w.page_count(), 5u);
+  for (u64 i = 0; i < 5; ++i) EXPECT_EQ(w.pfns[i], Pfn{(10 + i) * 3});
+  EXPECT_EQ(l.slice(0, 100).pfns, l.pfns);
+  EXPECT_EQ(l.slice(99, 1).pfns[0], Pfn{99 * 3});
+}
+
 }  // namespace
 }  // namespace xemem::mm
