@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 build + tests, then the same suite under
 # AddressSanitizer/UBSan (catches lifetime bugs the coroutine-heavy
-# simulator is prone to). Usage: scripts/check.sh [--asan-only|--fast]
+# simulator is prone to), plus an optional standalone UBSan leg.
+# Usage: scripts/check.sh [--asan-only|--fast|--ubsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 asan_only=0
+ubsan=0
 case "${1:-}" in
   --fast) fast=1 ;;
   --asan-only) asan_only=1 ;;
+  --ubsan) ubsan=1 ;;
   "") ;;
-  *) echo "usage: $0 [--asan-only|--fast]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--asan-only|--fast|--ubsan]" >&2; exit 2 ;;
 esac
+
+if [[ $ubsan -eq 1 ]]; then
+  echo "== sanitizers: standalone ubsan build + ctest =="
+  cmake --preset ubsan >/dev/null
+  cmake --build --preset ubsan -j
+  ctest --preset ubsan -j "$(nproc)"
+  echo "all checks passed"
+  exit 0
+fi
 
 if [[ $asan_only -eq 0 ]]; then
   echo "== tier-1: RelWithDebInfo build + ctest =="
@@ -26,6 +38,10 @@ if [[ $asan_only -eq 0 ]]; then
   echo "== attach fast-path ablation smoke =="
   ./build/bench/ablation_attach_path --quick --json build/attach_path.json
   cp build/attach_path.json BENCH_attach_path.json
+
+  echo "== name-service failover crashpoint-sweep smoke =="
+  ./build/bench/ablation_ns_failover --quick --json build/ns_failover.json
+  cp build/ns_failover.json BENCH_ns_failover.json
 fi
 
 if [[ $fast -eq 0 ]]; then
@@ -39,6 +55,9 @@ if [[ $fast -eq 0 ]]; then
 
   echo "== attach fast-path ablation smoke (asan) =="
   ./build-asan/bench/ablation_attach_path --quick --json build-asan/attach_path.json
+
+  echo "== name-service failover crashpoint-sweep smoke (asan) =="
+  ./build-asan/bench/ablation_ns_failover --quick --json build-asan/ns_failover.json
 fi
 
 echo "all checks passed"

@@ -42,6 +42,24 @@ constexpr u64 kFieldDone = 24;
 
 u64 chunk_count(u64 bytes, u64 chunk) { return (bytes + chunk - 1) / chunk; }
 
+// Bootstrap-time protocol errors worth retrying within the bootstrap
+// deadline: transient routing loss, a name service mid-failover (promoted
+// standby still absorbing re-registrations), or a registry entry that has
+// not been replayed yet. Everything else (permission, argument, protocol
+// errors) is terminal.
+bool bootstrap_retryable(Errc e) {
+  switch (e) {
+    case Errc::unreachable:
+    case Errc::no_name_server:
+    case Errc::retry_later:
+    case Errc::stale_epoch:
+    case Errc::no_such_segid:
+      return true;
+    default:
+      return false;
+  }
+}
+
 u64 reduce_ns(u64 bytes) {
   return static_cast<u64>(static_cast<double>(bytes) / costs::kCollReduceBytesPerNs);
 }
@@ -282,20 +300,36 @@ sim::Task<Result<void>> Comm::attach_by_name(const std::string& seg_name,
                                              u32 parties, u32 my_idx, Seg* out,
                                              OpCtx& ctx) {
   const u64 bytes = seg_bytes(parties, cfg_);
+  // The whole search -> get -> attach chain retries within the bootstrap
+  // deadline: the exporter may not have published the name yet, and a name
+  // service failing over mid-bootstrap answers with retryable statuses
+  // until the registry is rebuilt.
   Segid sid{};
-  for (;;) {  // the exporter may not have published the name yet
+  Result<XpmemGrant> grant{Errc::unreachable};
+  Result<XpmemAttachment> att{Errc::unreachable};
+  for (;;) {
     auto s = co_await m_.kernel->xpmem_search(seg_name);
     if (s.ok()) {
       sid = s.value();
-      break;
+      grant = co_await m_.kernel->xpmem_get(sid);
+      if (grant.ok()) {
+        att = co_await m_.kernel->xpmem_attach(*m_.proc, grant.value(), 0, bytes);
+        if (att.ok()) break;
+        // The grant is useless without the attachment: best-effort drop it
+        // before retrying so the owner's grant count does not creep up.
+        (void)co_await m_.kernel->xpmem_release(grant.value());
+        if (!bootstrap_retryable(att.error())) co_return att.error();
+      } else if (!bootstrap_retryable(grant.error())) {
+        co_return grant.error();
+      }
     }
-    if (ctx.dl.expired()) co_return Errc::unreachable;
+    if (ctx.dl.expired()) {
+      if (!att.ok() && s.ok() && grant.ok()) co_return att.error();
+      if (!grant.ok() && s.ok()) co_return grant.error();
+      co_return Errc::unreachable;
+    }
     co_await sim::delay(cfg_.poll_interval);
   }
-  auto grant = co_await m_.kernel->xpmem_get(sid);
-  if (!grant.ok()) co_return grant.error();
-  auto att = co_await m_.kernel->xpmem_attach(*m_.proc, grant.value(), 0, bytes);
-  if (!att.ok()) co_return att.error();
   co_await m_.os->touch_attached(*m_.proc, att.value().va, att.value().pages);
 
   out->base = att.value().va;
@@ -338,8 +372,18 @@ sim::Task<Result<void>> Comm::bootstrap() {
     }
     if (auto r = store_word(root_, kPartiesOff, size_); !r.ok()) co_return r;
     if (auto r = store_word(root_, kMagicOff, kMagic); !r.ok()) co_return r;
-    auto sid = co_await m_.kernel->xpmem_make(*m_.proc, root_.base, root_bytes,
-                                              name_);
+    // The export must land in the name server's registry; retry through a
+    // failover window (the exporter keeps its local record, so a replayed
+    // segid_alloc under a new epoch is safe).
+    Result<Segid> sid{Errc::unreachable};
+    for (;;) {
+      sid = co_await m_.kernel->xpmem_make(*m_.proc, root_.base, root_bytes,
+                                           name_);
+      if (sid.ok() || !bootstrap_retryable(sid.error()) || ctx.dl.expired()) {
+        break;
+      }
+      co_await sim::delay(cfg_.poll_interval);
+    }
     if (!sid.ok()) co_return sid.error();
     root_.segid = sid.value();
     ++stats_.exports;
@@ -397,9 +441,16 @@ sim::Task<Result<void>> Comm::bootstrap() {
       }
       if (auto r = store_word(local_, kPartiesOff, parties); !r.ok()) co_return r;
       if (auto r = store_word(local_, kMagicOff, kMagic); !r.ok()) co_return r;
-      auto sid = co_await m_.kernel->xpmem_make(*m_.proc, local_.base,
-                                                seg_bytes(parties, cfg_),
-                                                local_name);
+      Result<Segid> sid{Errc::unreachable};
+      for (;;) {
+        sid = co_await m_.kernel->xpmem_make(*m_.proc, local_.base,
+                                             seg_bytes(parties, cfg_),
+                                             local_name);
+        if (sid.ok() || !bootstrap_retryable(sid.error()) || ctx.dl.expired()) {
+          break;
+        }
+        co_await sim::delay(cfg_.poll_interval);
+      }
       if (!sid.ok()) co_return sid.error();
       local_.segid = sid.value();
       ++stats_.exports;

@@ -28,6 +28,9 @@ enum class Errc {
   busy,               ///< removal while attachments outstanding
   unreachable,        ///< routing failed to find a path
   protocol_error,     ///< malformed cross-enclave message
+  no_name_server,     ///< name service terminally lost (no standby promoted)
+  stale_epoch,        ///< request carried an old name-service epoch; retry
+  retry_later,        ///< transient (e.g. registry rebuilding); retry
 };
 
 /// Human-readable name for an error code.
@@ -91,6 +94,9 @@ inline const char* errc_name(Errc e) {
     case Errc::busy: return "busy";
     case Errc::unreachable: return "unreachable";
     case Errc::protocol_error: return "protocol_error";
+    case Errc::no_name_server: return "no_name_server";
+    case Errc::stale_epoch: return "stale_epoch";
+    case Errc::retry_later: return "retry_later";
   }
   return "unknown";
 }

@@ -12,13 +12,56 @@ namespace {
 // counter suffices and keeps intermediate forwarding tables collision-free
 // even before enclaves hold ids).
 u64 g_req_counter = 1;
+
+// Response command correlated to a request command (for rejections built
+// before the request is dispatched, e.g. the stale-epoch guard).
+Cmd response_cmd(Cmd c) {
+  switch (c) {
+    case Cmd::ping_ns: return Cmd::ping_ns_resp;
+    case Cmd::alloc_enclave_id: return Cmd::enclave_id_resp;
+    case Cmd::segid_alloc: return Cmd::segid_alloc_resp;
+    case Cmd::segid_remove: return Cmd::segid_remove_resp;
+    case Cmd::name_lookup: return Cmd::name_lookup_resp;
+    case Cmd::name_list: return Cmd::name_list_resp;
+    case Cmd::get: return Cmd::get_resp;
+    case Cmd::attach: return Cmd::attach_resp;
+    case Cmd::detach: return Cmd::detach_resp;
+    case Cmd::ns_probe: return Cmd::ns_probe_resp;
+    case Cmd::reregister: return Cmd::reregister_resp;
+    default: return c;
+  }
+}
 }  // namespace
 
 XememKernel::XememKernel(os::Enclave& os, bool is_name_server, KernelConfig cfg)
     : os_(os), is_ns_(is_name_server), cfg_(cfg) {
   if (cfg_.request_timeout == 0) cfg_.request_timeout = kRequestTimeout;
   if (cfg_.ping_timeout == 0) cfg_.ping_timeout = kPingTimeout;
-  if (cfg_.heartbeat_period == 0) cfg_.heartbeat_period = cfg_.lease_duration / 3;
+  if (cfg_.lease_duration > 0) {
+    // A heartbeat period at or beyond the lease duration would let healthy
+    // enclaves flap in and out of the registry: normalize the
+    // misconfiguration at construction instead of silently flapping.
+    if (cfg_.heartbeat_period >= cfg_.lease_duration) {
+      XLOG_WARN("xemem",
+                "%s: heartbeat_period >= lease_duration; normalizing to "
+                "lease_duration / 3",
+                os_.name().c_str());
+      cfg_.heartbeat_period = 0;
+    }
+    if (cfg_.heartbeat_period == 0) {
+      cfg_.heartbeat_period = std::max<sim::Duration>(cfg_.lease_duration / 3, 1);
+    }
+  }
+  if (cfg_.ns_probe_period == 0) {
+    cfg_.ns_probe_period =
+        cfg_.lease_duration > 0
+            ? std::max<sim::Duration>(cfg_.lease_duration / 3, 1)
+            : 10'000'000ull;  // 10 ms
+  }
+  if (cfg_.ns_recovery_grace == 0) {
+    cfg_.ns_recovery_grace =
+        std::max<sim::Duration>(cfg_.lease_duration, 2 * cfg_.request_timeout);
+  }
   // A forwarder entry must outlive every legitimate retry of its request.
   if (cfg_.fwd_ttl == 0) {
     cfg_.fwd_ttl = 2 * (cfg_.request_timeout + cfg_.backoff_max);
@@ -50,10 +93,14 @@ void XememKernel::start() {
     // Engine::run_until_idle() unsuitable for the enclosing experiment.
     eng->spawn(is_ns_ ? lease_reaper() : heartbeat_actor());
   }
+  if (cfg_.ns_failover && !is_ns_) eng->spawn(standby_actor());
 }
 
 void XememKernel::crash() {
-  XEMEM_ASSERT_MSG(!is_ns_, "the name-server enclave cannot crash");
+  // A name-server crash is a defined failure mode: with a standby
+  // configured the epoch machinery recovers (DESIGN.md §"Name-service
+  // failover"); without one, NS-bound requests fail with no_name_server
+  // once discovery exhausts its probe rounds.
   if (crashed_) return;
   crashed_ = true;
   stopped_ = true;
@@ -75,6 +122,11 @@ void XememKernel::crash() {
   owner_cache_.clear();
   owner_fifo_.clear();
   attach_cache_.clear();
+  // A dying name server takes its registry with it; survivors hold the
+  // durable truth (their own exports) and replay it to a promoted standby.
+  ns_segids_.clear();
+  ns_names_.clear();
+  ns_leases_.clear();
   XLOG_WARN("xemem", "%s: enclave crashed (abrupt)", os_.name().c_str());
 }
 
@@ -105,6 +157,7 @@ sim::Task<Result<void>> XememKernel::shutdown() {
   bye.dst = EnclaveId{0};
   bye.src = id();
   bye.req_id = g_req_counter++;
+  bye.epoch = ns_epoch_;
   ChannelEndpoint* via = route_for(bye.dst);
   if (via != nullptr) co_await via->send(std::move(bye));
   stopped_ = true;
@@ -123,36 +176,75 @@ sim::Task<void> XememKernel::discovery() {
   // responds that it knows a path to the name server; then request an
   // enclave ID through that channel. Probes are single-shot (retrying a
   // probe on a dead link would only stall the sweep; the outer loop
-  // already re-probes every channel with backoff).
-  while (ns_channel_ == nullptr) {
-    if (crashed_ || stopped_) co_return;
-    for (auto* ep : channels_) {
-      Message ping;
-      ping.cmd = Cmd::ping_ns;
-      auto resp =
-          co_await request(std::move(ping), ep, cfg_.ping_timeout, /*max_retries=*/0);
-      if (resp.ok() && resp.value().status == Errc::ok) {
-        ns_channel_ = ep;
-        break;
+  // already re-probes every channel with backoff). Sweeps are bounded by
+  // discovery_max_rounds: a fully partitioned enclave (or one orphaned by
+  // a standby-less name-server death) must not retry into the void
+  // forever — it surfaces a terminal state instead, and a later
+  // ns_announce (failover) revives it.
+  if (discovering_) co_return;
+  discovering_ = true;
+  u32 rounds = 0;
+  while (!crashed_ && !stopped_ && !is_ns_) {
+    while (ns_channel_ == nullptr) {
+      if (crashed_ || stopped_ || is_ns_) {
+        discovering_ = false;
+        co_return;
       }
+      const std::vector<ChannelEndpoint*> eps = channels_;  // request() suspends
+      for (auto* ep : eps) {
+        Message ping;
+        ping.cmd = Cmd::ping_ns;
+        auto resp = co_await request(std::move(ping), ep, cfg_.ping_timeout,
+                                     /*max_retries=*/0);
+        if (resp.ok() && resp.value().status == Errc::ok) {
+          ns_channel_ = ep;
+          break;
+        }
+      }
+      if (ns_channel_ != nullptr) break;
+      if (cfg_.discovery_max_rounds != 0 &&
+          ++rounds >= cfg_.discovery_max_rounds) {
+        ns_lost_ = true;
+        // Unblock wait_registered() waiters; the id stays invalid and
+        // registration_failed() reports the terminal state.
+        registered_.set();
+        XLOG_WARN("xemem",
+                  "%s: discovery exhausted %u probe rounds with no path to a "
+                  "name server",
+                  os_.name().c_str(), rounds);
+        discovering_ = false;
+        co_return;
+      }
+      co_await sim::delay(200'000 /*200us backoff*/);
     }
-    if (ns_channel_ == nullptr) co_await sim::delay(200'000 /*200us backoff*/);
+
+    // Re-discovery after a route loss keeps the already-allocated ID; only
+    // first-time registration allocates one.
+    if (id().valid()) break;
+
+    Message alloc;
+    alloc.cmd = Cmd::alloc_enclave_id;
+    alloc.dst = EnclaveId{0};
+    auto resp = co_await request(std::move(alloc), ns_channel_);
+    if (resp.ok() && resp.value().status == Errc::ok) {
+      os_.set_id(EnclaveId{resp.value().payload.at(0)});
+      XLOG_DEBUG("xemem", "%s registered as enclave %llu", os_.name().c_str(),
+                 static_cast<unsigned long long>(id().value()));
+      registered_.set();
+      break;
+    }
+    // The name server went silent (or rejected us) mid-registration:
+    // forget the direction and re-probe, still bounded by the round limit.
+    ns_channel_ = nullptr;
+    if (cfg_.discovery_max_rounds != 0 && ++rounds >= cfg_.discovery_max_rounds) {
+      ns_lost_ = true;
+      registered_.set();
+      XLOG_WARN("xemem", "%s: registration exhausted its probe rounds",
+                os_.name().c_str());
+      break;
+    }
   }
-
-  // Re-discovery after a route loss keeps the already-allocated ID; only
-  // first-time registration allocates one.
-  if (id().valid()) co_return;
-
-  Message alloc;
-  alloc.cmd = Cmd::alloc_enclave_id;
-  alloc.dst = EnclaveId{0};
-  auto resp = co_await request(std::move(alloc), ns_channel_);
-  XEMEM_ASSERT_MSG(resp.ok() && resp.value().status == Errc::ok,
-                   "enclave id allocation failed");
-  os_.set_id(EnclaveId{resp.value().payload.at(0)});
-  XLOG_DEBUG("xemem", "%s registered as enclave %llu", os_.name().c_str(),
-             static_cast<unsigned long long>(id().value()));
-  registered_.set();
+  discovering_ = false;
 }
 
 // Lease renewal: while the enclave lives, the name server hears from it at
@@ -160,16 +252,154 @@ sim::Task<void> XememKernel::discovery() {
 // enclave is never garbage-collected even when it is otherwise idle.
 sim::Task<void> XememKernel::heartbeat_actor() {
   co_await registered_.wait();
-  while (!stopped_ && !crashed_) {
+  while (!stopped_ && !crashed_ && !is_ns_) {  // a promoted standby stops
     Message hb;
     hb.cmd = Cmd::heartbeat;
     hb.dst = EnclaveId{0};
     hb.src = id();
     hb.req_id = g_req_counter++;
+    hb.epoch = ns_epoch_;
     ChannelEndpoint* via = route_for(hb.dst);
     if (via != nullptr) co_await via->send(std::move(hb));  // one-way
     co_await sim::delay(cfg_.heartbeat_period);
   }
+}
+
+// ------------------------------------------------- name-service failover
+
+// The designated standby probes the name server end-to-end (not just the
+// next hop: ping_ns is answered by neighbors, so only a routed
+// request/response proves the NS itself is alive). A run of unanswered
+// probes is the promotion trigger.
+sim::Task<void> XememKernel::standby_actor() {
+  co_await registered_.wait();
+  if (!id().valid() || id().value() != standby_id()) co_return;
+  u32 misses = 0;
+  for (;;) {
+    co_await sim::delay(cfg_.ns_probe_period);
+    if (stopped_ || crashed_ || is_ns_) co_return;
+    Message probe;
+    probe.cmd = Cmd::ns_probe;
+    probe.dst = EnclaveId{0};
+    auto resp = co_await request(std::move(probe), nullptr, cfg_.ping_timeout,
+                                 /*max_retries=*/0);
+    if (stopped_ || crashed_ || is_ns_) co_return;
+    if (resp.ok() && resp.value().status == Errc::ok) {
+      misses = 0;
+      continue;
+    }
+    if (++misses >= cfg_.ns_probe_misses) {
+      promote();
+      co_return;
+    }
+  }
+}
+
+void XememKernel::promote() {
+  if (is_ns_ || crashed_ || stopped_) return;
+  is_ns_ = true;
+  ++ns_epoch_;
+  ++stats_.ns_failovers;
+  promote_time_ = sim::now();
+  ns_recovery_until_ = sim::now() + cfg_.ns_recovery_grace;
+  ns_channel_ = nullptr;  // the NS direction is now "here"
+  ns_lost_ = false;
+  rereg_epoch_ = ns_epoch_;
+  // Segid allocation restarts at 1 under the new epoch prefix — a reborn
+  // name server can never re-issue a segid live from a prior epoch.
+  next_segid_ = 1;
+  // Never re-issue a live enclave id either: resume above the high-water
+  // mark observed in traffic (survivors also push it up as they
+  // re-register).
+  next_enclave_id_ = std::max(
+      next_enclave_id_, std::max(max_seen_enclave_, id().value()) + 1);
+  // Rebuild the registry from the durable source of truth: owners. Start
+  // with this enclave's own exports; survivors replay theirs in the
+  // re-registration round.
+  ns_segids_.clear();
+  ns_names_.clear();
+  ns_leases_.clear();
+  for (const auto& [sid, rec] : exports_) {
+    ns_segids_[sid] = NsSegidRecord{id(), rec.pages * kPageSize, rec.name};
+    if (!rec.name.empty()) ns_names_[rec.name] = Segid{sid};
+  }
+  auto* eng = sim::Engine::current();
+  eng->spawn(announce_epoch());
+  if (cfg_.lease_duration > 0) eng->spawn(lease_reaper());
+  XLOG_WARN("xemem", "%s: promoted to name server, epoch %llu",
+            os_.name().c_str(), static_cast<unsigned long long>(ns_epoch_));
+}
+
+sim::Task<void> XememKernel::announce_epoch() {
+  // Snapshot: channels_ may grow (dynamic repartitioning adds links) while
+  // this coroutine is suspended in send(), invalidating iterators.
+  const std::vector<ChannelEndpoint*> eps = channels_;
+  for (auto* ep : eps) {
+    Message ann;
+    ann.cmd = Cmd::ns_announce;
+    ann.src = id();
+    ann.req_id = g_req_counter++;
+    ann.epoch = ns_epoch_;
+    co_await ep->send(std::move(ann));
+  }
+}
+
+// Replay this enclave's locally-owned exports to the newly promoted name
+// server so the registry converges to the pre-crash truth. Runs once per
+// adopted epoch; request() retries carry it through a lossy channel.
+sim::Task<void> XememKernel::reregister_actor() {
+  const u64 target_epoch = ns_epoch_;
+  while (ns_channel_ == nullptr) {
+    if (crashed_ || stopped_ || is_ns_ || ns_epoch_ != target_epoch) co_return;
+    co_await sim::delay(200'000);
+  }
+  if (crashed_ || stopped_ || is_ns_ || ns_epoch_ != target_epoch) co_return;
+  Message req;
+  req.cmd = Cmd::reregister;
+  req.dst = EnclaveId{0};
+  for (const auto& [sid, rec] : exports_) {
+    req.payload.push_back(sid);
+    req.payload.push_back(rec.pages * kPageSize);
+    if (!req.name.empty() || req.payload.size() > 2) req.name += '\n';
+    req.name += rec.name;
+  }
+  (void)co_await request(std::move(req));
+}
+
+bool XememKernel::maybe_adopt_epoch(const Message& msg, ChannelEndpoint* from) {
+  if (msg.epoch <= ns_epoch_) return false;
+  if (is_ns_) {
+    // Competing name servers (a spurious promotion while the original
+    // lived) are out of scope: log and stand pat — the higher epoch owns
+    // the survivors regardless, since they adopt it from its traffic.
+    XLOG_WARN("xemem", "%s: name server saw newer epoch %llu (own %llu)",
+              os_.name().c_str(), static_cast<unsigned long long>(msg.epoch),
+              static_cast<unsigned long long>(ns_epoch_));
+    return false;
+  }
+  ns_epoch_ = msg.epoch;
+  ns_lost_ = false;
+  // An announce (or any message from the name server itself) arrives from
+  // the NS direction; anything else only proves the epoch moved, so the
+  // direction must be re-discovered.
+  if (msg.cmd == Cmd::ns_announce || msg.src == EnclaveId{0}) {
+    ns_channel_ = from;
+  } else {
+    ns_channel_ = nullptr;
+  }
+  auto* eng = sim::Engine::current();
+  if (id().valid()) {
+    if (rereg_epoch_ < ns_epoch_) {
+      rereg_epoch_ = ns_epoch_;
+      eng->spawn(reregister_actor());
+    }
+  } else {
+    // Never managed to register (e.g. the old NS died mid-registration):
+    // the new name server is a fresh chance.
+    eng->spawn(discovery());
+  }
+  if (ns_channel_ == nullptr) eng->spawn(discovery());
+  return true;
 }
 
 // Name-server sweep: expire leases even when no traffic arrives (the lazy
@@ -263,26 +493,45 @@ sim::Task<Result<Message>> XememKernel::request(Message msg, ChannelEndpoint* vi
   for (u32 attempt = 0;; ++attempt) {
     if (crashed_) co_return Errc::unreachable;
     ChannelEndpoint* via = via_in != nullptr ? via_in : route_for(msg.dst);
-    if (via == nullptr) co_return Errc::unreachable;
+    if (via == nullptr) {
+      // NS-bound traffic with the name service terminally lost (discovery
+      // exhausted, no standby promoted) fails with the dedicated status so
+      // callers can distinguish "no name server anywhere" from a transient
+      // routing failure.
+      co_return (msg.dst == EnclaveId{0} && ns_lost_) ? Errc::no_name_server
+                                                      : Errc::unreachable;
+    }
 
     sim::Mailbox<Message> mb;
     pending_resp_[rid] = &mb;
     sim::Engine::current()->spawn(timeout_actor(this, rid, timeout));
     Message copy = msg;  // keep the original for retransmission
+    copy.epoch = ns_epoch_;  // re-stamp: an epoch may be adopted mid-retry
     co_await via->send(std::move(copy));
     Message resp = co_await mb.recv();
     pending_resp_.erase(rid);
     if (!(resp.status == Errc::unreachable && resp.cmd == Cmd::ping_ns)) {
       // A real response (the sentinel has a default-constructed cmd).
-      // Remember the id so a late duplicate of this response is counted,
-      // not warned about.
-      completed_reqs_[rid] = 1;
-      completed_fifo_.push_back(rid);
-      while (completed_fifo_.size() > cfg_.dedup_cache_cap) {
-        completed_reqs_.erase(completed_fifo_.front());
-        completed_fifo_.pop_front();
+      // Retryable rejections — the epoch moved under us, or the new name
+      // server is still rebuilding its registry — are retried under the
+      // same req_id with the usual backoff; everything else returns.
+      const bool retryable = !crashed_ && (resp.status == Errc::stale_epoch ||
+                                           resp.status == Errc::retry_later);
+      if (!retryable || attempt >= retries) {
+        // Remember the id so a late duplicate of this response is counted,
+        // not warned about.
+        completed_reqs_[rid] = 1;
+        completed_fifo_.push_back(rid);
+        while (completed_fifo_.size() > cfg_.dedup_cache_cap) {
+          completed_reqs_.erase(completed_fifo_.front());
+          completed_fifo_.pop_front();
+        }
+        co_return resp;
       }
-      co_return resp;
+      ++stats_.retries;
+      co_await sim::delay(backoff);
+      backoff = std::min<sim::Duration>(backoff * 2, cfg_.backoff_max);
+      continue;
     }
 
     ++stats_.timeouts;
@@ -308,7 +557,8 @@ sim::Task<Result<Message>> XememKernel::request(Message msg, ChannelEndpoint* vi
         }
         sim::Engine::current()->spawn(discovery());
       }
-      co_return Errc::unreachable;
+      co_return (msg.dst == EnclaveId{0} && ns_lost_) ? Errc::no_name_server
+                                                      : Errc::unreachable;
     }
     ++stats_.retries;
     co_await sim::delay(backoff);
@@ -321,11 +571,16 @@ sim::Task<Result<Message>> XememKernel::request_to_owner(Message msg) {
     // We *are* the name server: resolve the owner locally instead of
     // sending to ourselves.
     auto it = ns_segids_.find(msg.segid.value());
-    if (it == ns_segids_.end()) co_return Errc::no_such_segid;
+    if (it == ns_segids_.end()) {
+      // During the post-promotion grace window the registry may simply not
+      // have heard the owner's re-registration yet: tell the caller to
+      // retry rather than condemning a segid that is about to reappear.
+      co_return in_recovery_grace() ? Errc::retry_later : Errc::no_such_segid;
+    }
     co_await os_.service_core()->run_irq(costs::kNameServerOp);
     msg.dst = it->second.owner;
-    XEMEM_ASSERT_MSG(msg.dst != EnclaveId{0},
-                     "NS-owned segid must use the local fast path");
+    XEMEM_ASSERT_MSG(msg.dst != id(),
+                     "self-owned segid must use the local fast path");
     co_return co_await request(std::move(msg));
   }
 
@@ -388,6 +643,30 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
   if (crashed_) co_return;  // a dead enclave hears nothing
   prune_pending_fwd();
 
+  // Track the highest enclave id seen in any traffic: a promoted standby
+  // resumes id allocation above this high-water mark.
+  if (msg.src.valid()) {
+    max_seen_enclave_ = std::max(max_seen_enclave_, msg.src.value());
+  }
+
+  // Epoch adoption: any message carrying a newer name-service epoch moves
+  // this node forward (and triggers re-registration / re-discovery).
+  const bool adopted = maybe_adopt_epoch(msg, from);
+  if (msg.cmd == Cmd::ns_announce) {
+    // Flood: re-announce on every other link, but only on first adoption —
+    // peer links can form cycles, and the strictly-newer check is what
+    // terminates the flood.
+    if (adopted) {
+      const std::vector<ChannelEndpoint*> eps = channels_;  // send() suspends
+      for (auto* ep : eps) {
+        if (ep == from) continue;
+        Message ann = msg;
+        co_await ep->send(std::move(ann));
+      }
+    }
+    co_return;
+  }
+
   // 1. Responses retracing a forwarded request.
   if (msg.is_response()) {
     auto fwd = pending_fwd_.find(msg.req_id);
@@ -425,6 +704,7 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
     resp.cmd = Cmd::ping_ns_resp;
     resp.req_id = msg.req_id;
     resp.src = id();
+    resp.epoch = ns_epoch_;
     resp.status = (is_ns_ || ns_channel_ != nullptr) ? Errc::ok : Errc::unreachable;
     co_await from->send(std::move(resp));
     co_return;
@@ -528,7 +808,34 @@ void XememKernel::prune_pending_fwd() {
 sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
   XEMEM_ASSERT(is_ns_);
   ++stats_.ns_requests;
+  // Deterministic crashpoint hook (tests/bench): die on the N-th
+  // NS-bound command, consuming it before any processing — the sweep
+  // never observes a half-applied registry mutation.
+  if (crash_after_ns_requests_ != 0 &&
+      stats_.ns_requests >= crash_after_ns_requests_) {
+    crash();
+    co_return;
+  }
   co_await os_.service_core()->run_irq(costs::kNameServerOp);
+
+  // Epoch guard: a request stamped with an older name-service epoch comes
+  // from a node that has not yet heard of this promotion. Reject it with a
+  // retryable status carrying the current epoch — the sender adopts it,
+  // re-resolves its NS direction if needed, and retries under the same
+  // req_id. Never cached in the dedup table: the retry must re-execute.
+  if (msg.epoch < ns_epoch_) {
+    ++stats_.epoch_rejects;
+    if (msg.is_one_way()) co_return;
+    Message rej;
+    rej.cmd = response_cmd(msg.cmd);
+    rej.req_id = msg.req_id;
+    rej.src = EnclaveId{0};
+    rej.dst = msg.src;
+    rej.status = Errc::stale_epoch;
+    rej.epoch = ns_epoch_;
+    co_await from->send(std::move(rej));
+    co_return;
+  }
 
   // Liveness bookkeeping: sweep expired leases lazily on every command
   // (so a retry against a dead owner's segid fails fast with
@@ -550,11 +857,48 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
   resp.req_id = msg.req_id;
   resp.src = EnclaveId{0};
   resp.dst = msg.src;
+  resp.epoch = ns_epoch_;
   resp.status = Errc::ok;
 
   switch (msg.cmd) {
     case Cmd::heartbeat:
       co_return;  // one-way; the renewal above is the whole effect
+    case Cmd::ns_probe: {
+      // End-to-end liveness probe from the standby. Never dedup-cached:
+      // each probe must reflect the current moment.
+      resp.cmd = Cmd::ns_probe_resp;
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::reregister: {
+      // A survivor replays its locally-owned exports after a promotion:
+      // reinstall its route, lease, and registry entries. Idempotent by
+      // construction (map inserts), so a retried replay is harmless.
+      enclave_map_[msg.src.value()] = from;
+      if (cfg_.lease_duration > 0) {
+        ns_leases_[msg.src.value()] = sim::now() + cfg_.lease_duration;
+      }
+      next_enclave_id_ = std::max(next_enclave_id_, msg.src.value() + 1);
+      size_t pos = 0;
+      const u64 n = msg.payload.size() / 2;
+      for (u64 i = 0; i < n; ++i) {
+        const u64 sid = msg.payload[2 * i];
+        const u64 size = msg.payload[2 * i + 1];
+        const size_t next = msg.name.find('\n', pos);
+        std::string nm = msg.name.substr(pos, next - pos);
+        pos = next == std::string::npos ? msg.name.size() : next + 1;
+        ns_segids_[sid] = NsSegidRecord{msg.src, size, nm};
+        if (!nm.empty()) ns_names_[nm] = Segid{sid};
+      }
+      ++stats_.reregistrations;
+      if (promote_time_ != 0) {
+        stats_.recovery_latency = sim::now() - promote_time_;
+      }
+      resp.cmd = Cmd::reregister_resp;
+      dedup_store(msg.req_id, resp);
+      co_await from->send(std::move(resp));
+      co_return;
+    }
     case Cmd::enclave_shutdown: {
       enclave_map_.erase(msg.src.value());
       ns_leases_.erase(msg.src.value());
@@ -589,7 +933,7 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
         co_await from->send(std::move(resp));
         co_return;
       }
-      const Segid sid{next_segid_++};
+      const Segid sid{make_segid_value(ns_epoch_, next_segid_++)};
       ns_segids_[sid.value()] = NsSegidRecord{msg.src, msg.size, msg.name};
       if (!msg.name.empty()) ns_names_[msg.name] = sid;
       resp.cmd = Cmd::segid_alloc_resp;
@@ -602,7 +946,15 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
       auto it = ns_segids_.find(msg.segid.value());
       resp.cmd = Cmd::segid_remove_resp;
       if (it == ns_segids_.end()) {
-        resp.status = Errc::no_such_segid;
+        // Misses inside the post-promotion grace window are answered with
+        // retry_later (and never dedup-cached): the entry may simply not
+        // have been replayed yet.
+        resp.status = in_recovery_grace() ? Errc::retry_later
+                                          : Errc::no_such_segid;
+        if (resp.status == Errc::retry_later) {
+          co_await from->send(std::move(resp));
+          co_return;
+        }
       } else {
         if (!it->second.name.empty()) ns_names_.erase(it->second.name);
         ns_segids_.erase(it);
@@ -615,7 +967,8 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
       resp.cmd = Cmd::name_lookup_resp;
       auto it = ns_names_.find(msg.name);
       if (it == ns_names_.end()) {
-        resp.status = Errc::no_such_segid;
+        resp.status = in_recovery_grace() ? Errc::retry_later
+                                          : Errc::no_such_segid;
       } else {
         resp.segid = it->second;
         resp.size = ns_segids_[it->second.value()].size;
@@ -644,20 +997,21 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
       if (it == ns_segids_.end()) {
         if (msg.cmd == Cmd::release) co_return;  // one-way: drop
         Message err;
-        err.cmd = msg.cmd == Cmd::get      ? Cmd::get_resp
-                  : msg.cmd == Cmd::attach ? Cmd::attach_resp
-                                           : Cmd::detach_resp;
+        err.cmd = response_cmd(msg.cmd);
         err.req_id = msg.req_id;
         err.src = EnclaveId{0};
         err.dst = msg.src;
-        err.status = Errc::no_such_segid;
-        dedup_store(msg.req_id, err);
+        err.epoch = ns_epoch_;
+        err.status = in_recovery_grace() ? Errc::retry_later
+                                         : Errc::no_such_segid;
+        if (err.status != Errc::retry_later) dedup_store(msg.req_id, err);
         co_await from->send(std::move(err));
         co_return;
       }
       const EnclaveId owner = it->second.owner;
-      if (owner == EnclaveId{0}) {
-        // The name server's own enclave owns the segid: serve directly.
+      if (owner == id()) {
+        // This name server's own enclave owns the segid (the boot NS has
+        // id 0; a promoted standby keeps its own id): serve directly.
         Message resp2;
         switch (msg.cmd) {
           case Cmd::get: resp2 = co_await serve_get(msg); break;
@@ -692,6 +1046,7 @@ sim::Task<Message> XememKernel::serve_get(const Message& msg) {
   resp.req_id = msg.req_id;
   resp.src = id();
   resp.dst = msg.src;
+  resp.epoch = ns_epoch_;
   auto it = exports_.find(msg.segid.value());
   if (it == exports_.end()) {
     resp.status = Errc::no_such_segid;
@@ -717,6 +1072,7 @@ sim::Task<Message> XememKernel::serve_attach(const Message& msg) {
   resp.req_id = msg.req_id;
   resp.src = id();
   resp.dst = msg.src;
+  resp.epoch = ns_epoch_;
 
   auto it = exports_.find(msg.segid.value());
   if (it == exports_.end()) {
@@ -778,6 +1134,7 @@ sim::Task<Message> XememKernel::serve_detach(const Message& msg) {
   resp.req_id = msg.req_id;
   resp.src = id();
   resp.dst = msg.src;
+  resp.epoch = ns_epoch_;
 
   auto pin = pins_.find(msg.offset);  // offset carries the owner handle
   if (pin == pins_.end() || pin->second.segid != msg.segid) {
@@ -882,8 +1239,8 @@ sim::Task<Result<Segid>> XememKernel::xpmem_make(os::Process& owner, Vaddr va,
     if (!name.empty()) {
       if (ns_names_.contains(name)) co_return Errc::already_exists;
     }
-    sid = Segid{next_segid_++};
-    ns_segids_[sid.value()] = NsSegidRecord{EnclaveId{0}, size, name};
+    sid = Segid{make_segid_value(ns_epoch_, next_segid_++)};
+    ns_segids_[sid.value()] = NsSegidRecord{id(), size, name};
     if (!name.empty()) ns_names_[name] = sid;
   } else {
     Message req;
@@ -968,6 +1325,7 @@ sim::Task<Result<void>> XememKernel::xpmem_release(const XpmemGrant& grant) {
   req.segid = grant.segid;
   req.src = id();
   req.req_id = g_req_counter++;
+  req.epoch = ns_epoch_;
   if (is_ns_) {
     auto ns = ns_segids_.find(grant.segid.value());
     if (ns == ns_segids_.end()) co_return Errc::no_such_segid;
@@ -1087,7 +1445,10 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
 sim::Task<Result<void>> XememKernel::xpmem_detach(os::Process& attacher,
                                                   const XpmemAttachment& att) {
   auto unmapped = co_await os_.unmap_attachment(attacher, att.map_base, att.pages);
-  if (!unmapped.ok()) co_return unmapped;
+  // A retried detach may find the range already unmapped by a failed
+  // predecessor (local half done, owner half lost with a dying forwarder).
+  // Push on to the owner-side release anyway so its pin cannot leak.
+  if (!unmapped.ok() && unmapped.error() != Errc::not_attached) co_return unmapped;
 
   if (att.local) {
     auto pin = pins_.find(att.owner_handle);

@@ -92,6 +92,36 @@ struct KernelConfig {
     extent_wire = owner_route_cache = walk_cache = attach_reuse = true;
     return *this;
   }
+
+  // ----- Name-service failover (opt-in, like the lease machinery; see
+  // DESIGN.md §"Name-service failover" and bench/ablation_ns_failover).
+
+  /// Let a designated standby detect name-server death, promote itself,
+  /// bump the name-service epoch, and rebuild the registry from surviving
+  /// owners' re-registrations.
+  bool ns_failover{false};
+  /// Enclave id of the standby (0 = the default: the lowest allocated
+  /// enclave id, i.e. enclave 1 — the first survivor to register).
+  u64 ns_standby{0};
+  /// Standby's end-to-end NS liveness probe cadence (0 defaults to
+  /// lease_duration / 3, or 10 ms when leases are off).
+  sim::Duration ns_probe_period{0};
+  /// Consecutive unanswered probes before the standby promotes itself.
+  u32 ns_probe_misses{3};
+  /// After promotion, registry misses answer Errc::retry_later (instead of
+  /// no_such_segid) for this long, covering the re-registration round
+  /// (0 defaults to max(lease_duration, 2 * request_timeout)).
+  sim::Duration ns_recovery_grace{0};
+  /// Discovery gives up after this many full probe sweeps with no path to
+  /// a name server and surfaces Errc::no_name_server to callers (0 =
+  /// probe forever, the historical behavior).
+  u32 discovery_max_rounds{512};
+
+  /// Convenience: turn on name-server failover.
+  KernelConfig& enable_ns_failover() {
+    ns_failover = true;
+    return *this;
+  }
 };
 
 class XememKernel {
@@ -198,6 +228,21 @@ class XememKernel {
   bool knows_owner(Segid s) const { return owner_cache_.contains(s.value()); }
   u64 walk_cache_entries() const { return walk_cache_.size(); }
   u64 attach_cache_entries() const { return attach_cache_.size(); }
+  /// Name-service epoch this kernel currently believes in (starts at 1;
+  /// each name-server promotion bumps it system-wide).
+  u64 ns_epoch() const { return ns_epoch_; }
+  /// Discovery terminally exhausted every probe round without finding a
+  /// name server; NS-bound requests now fail fast with no_name_server.
+  bool ns_lost() const { return ns_lost_; }
+  /// Registration gave up: the enclave never obtained an id (fully
+  /// partitioned, or the name server died standby-less mid-registration).
+  bool registration_failed() const { return ns_lost_ && !id().valid(); }
+
+  /// Deterministic crashpoint hook: crash() this (name-server) kernel
+  /// immediately before executing its @p n-th name-server command. The
+  /// crashpoint-sweep harness enumerates every protocol step this way
+  /// (0 disables the hook).
+  void crash_after_ns_requests(u64 n) { crash_after_ns_requests_ = n; }
 
   const KernelConfig& config() const { return cfg_; }
 
@@ -228,6 +273,10 @@ class XememKernel {
     u64 reuse_hits{0};       ///< attaches satisfied from already-held frames
     u64 extents_shipped{0};  ///< extent records sent in attach responses
     u64 wire_bytes_saved{0}; ///< flat-PFN bytes avoided by extent encoding
+    u64 ns_failovers{0};     ///< promotions of this kernel to name server
+    u64 epoch_rejects{0};    ///< stale-epoch commands rejected as name server
+    u64 reregistrations{0};  ///< survivor re-registration rounds absorbed
+    u64 recovery_latency{0}; ///< ns: promotion -> latest re-registration
   };
   const Stats& stats() const { return stats_; }
 
@@ -261,6 +310,22 @@ class XememKernel {
   sim::Task<void> discovery();
   sim::Task<void> heartbeat_actor();
   sim::Task<void> lease_reaper();
+
+  // ----- Name-service failover (DESIGN.md §"Name-service failover").
+  /// The configured standby's enclave id.
+  u64 standby_id() const { return cfg_.ns_standby != 0 ? cfg_.ns_standby : 1; }
+  /// Standby-side liveness probing; promotes on ns_probe_misses misses.
+  sim::Task<void> standby_actor();
+  /// Take over the name-server role: bump the epoch, rebuild the registry
+  /// from local exports, and flood the announcement.
+  void promote();
+  sim::Task<void> announce_epoch();
+  /// Replay this enclave's exports to the newly promoted name server.
+  sim::Task<void> reregister_actor();
+  /// Adopt a newer epoch seen on @p msg (update NS direction, trigger
+  /// re-registration/discovery). Returns true when the epoch advanced.
+  bool maybe_adopt_epoch(const Message& msg, ChannelEndpoint* from);
+  bool in_recovery_grace() const { return sim::now() < ns_recovery_until_; }
 
   /// Send a request and await its correlated response, retrying with
   /// exponential backoff on timeout (@p max_retries overrides the config;
@@ -382,6 +447,16 @@ class XememKernel {
   std::unordered_map<u64, NsSegidRecord> ns_segids_;
   std::unordered_map<std::string, Segid> ns_names_;
   std::unordered_map<u64, sim::TimePoint> ns_leases_;  // enclave -> expiry
+
+  // ------------------------------------------- name-service failover state
+  u64 ns_epoch_{1};
+  bool ns_lost_{false};      // discovery terminally exhausted
+  bool discovering_{false};  // a discovery() actor is already running
+  u64 rereg_epoch_{1};       // newest epoch we (re-)registered under
+  u64 max_seen_enclave_{0};  // high-water enclave id observed in traffic
+  sim::TimePoint promote_time_{0};
+  sim::TimePoint ns_recovery_until_{0};
+  u64 crash_after_ns_requests_{0};
 };
 
 }  // namespace xemem

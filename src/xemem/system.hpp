@@ -18,6 +18,7 @@
 #include "os/linux.hpp"
 #include "palacios/pci_channel.hpp"
 #include "palacios/vm.hpp"
+#include "pisces/ipi_channel.hpp"
 #include "pisces/manager.hpp"
 #include "xemem/fault.hpp"
 #include "xemem/kernel.hpp"
@@ -138,6 +139,21 @@ class Node {
     kernel.add_channel(guest_ep);
     channels_.push_back(std::move(chan));
     return kernel;
+  }
+
+  /// Direct peer link between two already-added enclaves (an IPI channel
+  /// between their service cores). The default topology is a star around
+  /// the management enclave; failover tests add peer links so the system
+  /// stays connected when the hub dies.
+  void link_peers(const std::string& a, const std::string& b) {
+    Entry& ea = entry(a);
+    Entry& eb = entry(b);
+    auto chan = pisces::make_ipi_channel(ea.enclave->service_core(),
+                                         eb.enclave->service_core());
+    auto [a_ep, b_ep] = maybe_faulty(chan.a.get(), chan.b.get());
+    ea.kernel->add_channel(a_ep);
+    eb.kernel->add_channel(b_ep);
+    channels_.push_back(std::move(chan));
   }
 
   /// Dynamic repartitioning: tear down a co-kernel enclave after its

@@ -52,6 +52,16 @@ enum class Cmd : u8 {
   attach_resp,  ///< PFN list payload
   detach,       ///< drop an attachment (owner unpins)
   detach_resp,
+
+  // Name-service failover (DESIGN.md §"Name-service failover"): the
+  // standby's end-to-end liveness probe, the epoch announcement flooded
+  // after a promotion, and the re-registration round in which surviving
+  // owners replay their exports to rebuild the registry.
+  ns_probe,       ///< standby -> name server: "are you alive?"
+  ns_probe_resp,
+  ns_announce,    ///< one-way flood: "epoch msg.epoch is live, NS is msg.src"
+  reregister,     ///< survivor replays locally-owned exports to the new NS
+  reregister_resp,
 };
 
 const char* cmd_name(Cmd c);
@@ -62,6 +72,11 @@ struct Message {
   EnclaveId src{EnclaveId::invalid()};
   EnclaveId dst{EnclaveId::invalid()};
   u64 req_id{0};
+  /// Name-service epoch the sender believes is current. The system boots
+  /// in epoch 1; every name-server promotion bumps it. The name server
+  /// rejects older epochs with Errc::stale_epoch (retryable), and any node
+  /// seeing a newer epoch adopts it and re-resolves its NS direction.
+  u64 epoch{1};
 
   Segid segid{};
   u64 offset{0};
@@ -103,6 +118,8 @@ struct Message {
       case Cmd::get_resp:
       case Cmd::attach_resp:
       case Cmd::detach_resp:
+      case Cmd::ns_probe_resp:
+      case Cmd::reregister_resp:
         return true;
       default:
         return false;
@@ -117,6 +134,7 @@ struct Message {
       case Cmd::release:
       case Cmd::enclave_shutdown:
       case Cmd::heartbeat:
+      case Cmd::ns_announce:
         return true;
       default:
         return false;
@@ -147,8 +165,25 @@ inline const char* cmd_name(Cmd c) {
     case Cmd::attach_resp: return "attach_resp";
     case Cmd::detach: return "detach";
     case Cmd::detach_resp: return "detach_resp";
+    case Cmd::ns_probe: return "ns_probe";
+    case Cmd::ns_probe_resp: return "ns_probe_resp";
+    case Cmd::ns_announce: return "ns_announce";
+    case Cmd::reregister: return "reregister";
+    case Cmd::reregister_resp: return "reregister_resp";
   }
   return "?";
 }
+
+/// Segids are epoch-prefixed: the top bits carry the name-service epoch
+/// that minted them, the low bits a per-epoch counter. A name server
+/// reborn in a later epoch restarts its counter at 1 yet can never
+/// re-issue a segid still live from a prior epoch.
+constexpr u32 kSegidEpochShift = 48;
+
+constexpr u64 make_segid_value(u64 epoch, u64 seq) {
+  return (epoch << kSegidEpochShift) | seq;
+}
+
+constexpr u64 segid_epoch(Segid s) { return s.value() >> kSegidEpochShift; }
 
 }  // namespace xemem

@@ -305,5 +305,100 @@ TEST(Fault, InjectionScheduleIsDeterministicPerSeed) {
   EXPECT_NE(a, c) << "different injector seeds perturb the run";
 }
 
+TEST(Fault, LeaseMisconfigNormalizedAtConstruction) {
+  // A heartbeat period at or beyond the lease duration would let healthy
+  // enclaves flap in and out of the registry. The kernel normalizes the
+  // misconfiguration at construction: heartbeat_period falls back to
+  // lease_duration / 3.
+  sim::Engine eng(7008);
+  Node node(hw::Machine::r420());
+  KernelConfig cfg = tight_config();
+  cfg.lease_duration = 3_ms;
+  cfg.heartbeat_period = 10_ms;  // >= lease: would guarantee expiry
+  node.set_kernel_config(cfg);
+  auto& mgmt = node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto& ck = node.add_cokernel("ck", 0, {6, 7}, 256_MiB);
+  EXPECT_EQ(mgmt.config().heartbeat_period, 1_ms);
+  EXPECT_EQ(ck.config().heartbeat_period, 1_ms);
+  EXPECT_EQ(mgmt.config().lease_duration, 3_ms);
+
+  // And the normalized config actually keeps a healthy enclave alive.
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    co_await sim::delay(4 * cfg.lease_duration);
+    os::Process* p = node.enclave("ck").create_process(1_MiB).value();
+    auto sid = co_await ck.xpmem_make(*p, p->image_base(), 4_KiB);
+    CO_ASSERT_TRUE(sid.ok());
+    EXPECT_EQ(mgmt.stats().leases_expired, 0u);
+  };
+  eng.run(main());
+}
+
+TEST(Fault, HeartbeatAtExpiryDoesNotResurrectLease) {
+  // Defined edge-case semantics: a lease whose expiry instant has been
+  // reached is expired (expiry <= now), and the garbage-collection sweep
+  // runs before lease renewal on every NS command — so a heartbeat
+  // arriving at (or after) the expiry instant finds the lease collected
+  // and must NOT resurrect it. Regular heartbeats, by contrast, keep the
+  // lease alive indefinitely.
+  sim::Engine eng(7009);
+  Node node(hw::Machine::r420());
+  KernelConfig cfg = tight_config();
+  cfg.lease_duration = 5_ms;
+  node.set_kernel_config(cfg);
+  auto& mgmt = node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  // The test plays an enclave over a raw side channel so it controls the
+  // heartbeat schedule exactly (no kernel heartbeat_actor interference).
+  auto side = pisces::make_ipi_channel(&node.machine().core(1),
+                                       &node.machine().core(2));
+  mgmt.add_channel(side.b.get());
+
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    Message alloc;
+    alloc.cmd = Cmd::alloc_enclave_id;
+    alloc.dst = EnclaveId{0};
+    alloc.req_id = 0xbeef0001;
+    co_await side.a->send(std::move(alloc));
+    Message resp = co_await side.a->inbox().recv();
+    CO_ASSERT_TRUE(resp.status == Errc::ok);
+    const EnclaveId fake{resp.payload.at(0)};
+    EXPECT_TRUE(mgmt.ns_has_lease(fake));
+
+    auto beat = [&]() -> sim::Task<void> {
+      Message hb;
+      hb.cmd = Cmd::heartbeat;
+      hb.src = fake;
+      hb.dst = EnclaveId{0};
+      hb.req_id = 0xbeef1000 + u64(sim::now());
+      co_await side.a->send(std::move(hb));
+    };
+
+    // Healthy cadence: beats at lease/2 keep the lease alive across many
+    // would-be expiries.
+    for (int i = 0; i < 6; ++i) {
+      co_await sim::delay(cfg.lease_duration / 2);
+      co_await beat();
+    }
+    EXPECT_TRUE(mgmt.ns_has_lease(fake));
+    EXPECT_EQ(mgmt.stats().leases_expired, 0u);
+
+    // Silence past the expiry instant, then a late heartbeat: the sweep
+    // collects first, the renewal finds nothing, the lease stays dead.
+    co_await sim::delay(cfg.lease_duration + 1_ms);
+    co_await beat();
+    co_await sim::delay(1_ms);  // let the NS service the beat
+    EXPECT_FALSE(mgmt.ns_has_lease(fake));
+    EXPECT_EQ(mgmt.stats().leases_expired, 1u);
+
+    // Still dead after more late beats: no resurrection path exists.
+    co_await beat();
+    co_await sim::delay(1_ms);
+    EXPECT_FALSE(mgmt.ns_has_lease(fake));
+    EXPECT_EQ(mgmt.stats().leases_expired, 1u);
+  };
+  eng.run(main());
+}
+
 }  // namespace
 }  // namespace xemem

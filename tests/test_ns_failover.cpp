@@ -1,0 +1,567 @@
+// Name-service failover: epoch-guarded standby promotion, registry
+// reconstruction from surviving owners, the deterministic crashpoint
+// sweep, and the standby-less / fully-partitioned terminal paths
+// (DESIGN.md §"Name-service failover").
+#include <gtest/gtest.h>
+
+#include "collectives/comm.hpp"
+#include "common/units.hpp"
+#include "pisces/ipi_channel.hpp"
+#include "xemem/fault.hpp"
+#include "xemem/system.hpp"
+#include "xemem/wire.hpp"
+
+#define CO_ASSERT_TRUE(x)                            \
+  do {                                               \
+    if (!(x)) {                                      \
+      ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #x; \
+      co_return;                                     \
+    }                                                \
+  } while (0)
+
+namespace xemem {
+namespace {
+
+using coll::Comm;
+
+// Tight protocol policy with failover enabled: promotions resolve in
+// simulated milliseconds instead of production-scale timeouts.
+KernelConfig failover_config() {
+  KernelConfig cfg;
+  cfg.request_timeout = 1_ms;
+  cfg.ping_timeout = 200_us;
+  cfg.max_retries = 2;
+  cfg.backoff_base = 100_us;
+  cfg.backoff_max = 400_us;
+  cfg.lease_duration = 5_ms;
+  cfg.enable_ns_failover();
+  cfg.ns_probe_period = 500_us;
+  cfg.ns_probe_misses = 2;
+  cfg.ns_recovery_grace = 4_ms;
+  cfg.discovery_max_rounds = 16;
+  return cfg;
+}
+
+// A protocol error a converging system is allowed to surface while the
+// name service fails over: transient, retryable, or cleanly terminal.
+bool clean_error(Errc e) {
+  return e == Errc::unreachable || e == Errc::no_name_server ||
+         e == Errc::retry_later || e == Errc::stale_epoch ||
+         e == Errc::no_such_segid;
+}
+
+TEST(NsFailover, StandbyPromotesAndRebuildsState) {
+  // The name server dies; the standby (lowest live enclave id) promotes
+  // itself, bumps the epoch, and rebuilds the registry from the
+  // survivors' re-registration round. A named segment exported before the
+  // crash stays resolvable afterwards and round-trips data, and new
+  // segids are minted under the new epoch.
+  sim::Engine eng(9001);
+  Node node(hw::Machine::r420());
+  node.set_kernel_config(failover_config());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto& ck1 = node.add_cokernel("ck1", 0, {4, 5}, 256_MiB);
+  auto& ck2 = node.add_cokernel("ck2", 0, {6, 7}, 256_MiB);
+  node.link_peers("ck1", "ck2");  // stay connected when the hub dies
+
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    XememKernel* standby = ck1.id().value() == 1 ? &ck1 : &ck2;
+    XememKernel* owner = standby == &ck1 ? &ck2 : &ck1;
+    const std::string owner_name = standby == &ck1 ? "ck2" : "ck1";
+    const std::string standby_name = standby == &ck1 ? "ck1" : "ck2";
+
+    os::Process* op = node.enclave(owner_name).create_process(8_MiB).value();
+    os::Process* up = node.enclave(standby_name).create_process(1_MiB).value();
+    std::vector<u8> pattern(64_KiB);
+    for (size_t i = 0; i < pattern.size(); ++i) pattern[i] = u8(i * 131 + 7);
+    CO_ASSERT_TRUE(node.enclave(owner_name)
+                       .proc_write(*op, op->image_base(), pattern.data(),
+                                   pattern.size())
+                       .ok());
+    auto sid = co_await owner->xpmem_make(*op, op->image_base(), 64_KiB,
+                                          "survivor");
+    CO_ASSERT_TRUE(sid.ok());
+    EXPECT_EQ(segid_epoch(sid.value()), 1u);
+
+    node.kernel("linux").crash();
+
+    // Promotion: probe misses accumulate, the standby takes over.
+    for (int i = 0; i < 400 && !standby->is_name_server(); ++i) {
+      co_await sim::delay(100_us);
+    }
+    CO_ASSERT_TRUE(standby->is_name_server());
+    EXPECT_EQ(standby->stats().ns_failovers, 1u);
+    EXPECT_EQ(standby->ns_epoch(), 2u);
+
+    // Recovery: the surviving owner replays its export to the new NS.
+    for (int i = 0; i < 400 && standby->stats().reregistrations == 0; ++i) {
+      co_await sim::delay(100_us);
+    }
+    EXPECT_GE(standby->stats().reregistrations, 1u);
+    EXPECT_GT(standby->stats().recovery_latency, 0u);
+    EXPECT_EQ(owner->ns_epoch(), 2u) << "survivor adopted the new epoch";
+
+    // The pre-crash name resolves through the rebuilt registry and the
+    // attachment round-trips the owner's data.
+    Result<Segid> found{Errc::unreachable};
+    for (int i = 0; i < 400; ++i) {
+      found = co_await standby->xpmem_search("survivor");
+      if (found.ok()) break;
+      co_await sim::delay(100_us);
+    }
+    CO_ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value().value(), sid.value().value());
+    auto grant = co_await standby->xpmem_get(found.value());
+    CO_ASSERT_TRUE(grant.ok());
+    auto att = co_await standby->xpmem_attach(*up, grant.value(), 0, 64_KiB);
+    CO_ASSERT_TRUE(att.ok());
+    co_await node.enclave(standby_name)
+        .touch_attached(*up, att.value().va, att.value().pages);
+    std::vector<u8> got(pattern.size());
+    CO_ASSERT_TRUE(node.enclave(standby_name)
+                       .proc_read(*up, att.value().va, got.data(), got.size())
+                       .ok());
+    EXPECT_EQ(got, pattern);
+
+    // New allocations are minted under the new epoch: a reborn name
+    // server can never re-issue a segid live from the old one.
+    auto sid2 = co_await owner->xpmem_make(*op, op->image_base(), 4_KiB);
+    CO_ASSERT_TRUE(sid2.ok());
+    EXPECT_EQ(segid_epoch(sid2.value()), 2u);
+    EXPECT_NE(sid2.value().value(), sid.value().value());
+
+    CO_ASSERT_TRUE((co_await standby->xpmem_detach(*up, att.value())).ok());
+    CO_ASSERT_TRUE((co_await standby->xpmem_release(grant.value())).ok());
+    EXPECT_EQ(owner->pinned_frames(), 0u);
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u);
+  };
+  eng.run(main());
+}
+
+TEST(NsFailover, EpochGuardRejectsStaleRequests) {
+  // A request stamped with the pre-promotion epoch is rejected with the
+  // retryable stale_epoch status carrying the current epoch — this is
+  // what keeps in-flight retries and stale caches correct across the
+  // promotion.
+  sim::Engine eng(9002);
+  Node node(hw::Machine::r420());
+  node.set_kernel_config(failover_config());
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto& ck1 = node.add_cokernel("ck1", 0, {4, 5}, 256_MiB);
+  auto& ck2 = node.add_cokernel("ck2", 0, {6, 7}, 256_MiB);
+  node.link_peers("ck1", "ck2");
+  // Raw side channel; the test plays a node that never heard of epoch 2.
+  auto side = pisces::make_ipi_channel(&node.machine().core(1),
+                                       &node.machine().core(5));
+
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    XememKernel* standby = ck1.id().value() == 1 ? &ck1 : &ck2;
+    node.kernel("linux").crash();
+    for (int i = 0; i < 400 && !standby->is_name_server(); ++i) {
+      co_await sim::delay(100_us);
+    }
+    CO_ASSERT_TRUE(standby->is_name_server());
+    standby->add_channel(side.b.get());  // serviced immediately
+
+    Message stale;
+    stale.cmd = Cmd::get;
+    stale.src = EnclaveId{77};
+    stale.dst = EnclaveId{0};
+    stale.req_id = 0xfeed0001;
+    stale.epoch = 1;  // pre-promotion
+    stale.segid = Segid{make_segid_value(1, 1)};
+    co_await side.a->send(std::move(stale));
+    Message rej = co_await side.a->inbox().recv();
+    EXPECT_EQ(rej.cmd, Cmd::get_resp);
+    EXPECT_EQ(rej.status, Errc::stale_epoch);
+    EXPECT_EQ(rej.epoch, 2u) << "rejection teaches the sender the epoch";
+    EXPECT_GE(standby->stats().epoch_rejects, 1u);
+
+    // The same request re-stamped with the current epoch is processed
+    // (here: a registry miss, answered per the recovery-grace rules).
+    Message fresh;
+    fresh.cmd = Cmd::get;
+    fresh.src = EnclaveId{77};
+    fresh.dst = EnclaveId{0};
+    fresh.req_id = 0xfeed0002;
+    fresh.epoch = 2;
+    fresh.segid = Segid{make_segid_value(1, 1)};
+    co_await side.a->send(std::move(fresh));
+    Message r2 = co_await side.a->inbox().recv();
+    EXPECT_EQ(r2.cmd, Cmd::get_resp);
+    EXPECT_TRUE(r2.status == Errc::retry_later ||
+                r2.status == Errc::no_such_segid)
+        << errc_name(r2.status);
+  };
+  eng.run(main());
+}
+
+// One crashpoint-sweep run: kill the name server immediately before its
+// k-th processed command (k = 0 disables the hook) and drive the full
+// make/get/attach/read/detach/release/remove sequence with
+// deadline-bounded retries. Every op must complete or fail with a clean
+// status, pins must drain, and if a standby promoted, a post-recovery
+// attach must round-trip data through a segid minted in the new epoch.
+struct SweepResult {
+  u64 ns_requests{0};  // commands the (dead or alive) NS processed
+  bool promoted{false};
+};
+
+SweepResult run_crashpoint(u64 k) {
+  SweepResult out;
+  sim::Engine eng(9100);  // same seed for every k: only the crashpoint moves
+  Node node(hw::Machine::r420());
+  node.set_kernel_config(failover_config());
+  auto& mgmt = node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto& ck1 = node.add_cokernel("ck1", 0, {4, 5}, 256_MiB);
+  auto& ck2 = node.add_cokernel("ck2", 0, {6, 7}, 256_MiB);
+  node.link_peers("ck1", "ck2");
+  mgmt.crash_after_ns_requests(k);
+
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    os::Process* op = node.enclave("ck2").create_process(8_MiB).value();
+    os::Process* up = node.enclave("ck1").create_process(1_MiB).value();
+    std::vector<u8> pattern(64_KiB);
+    for (size_t i = 0; i < pattern.size(); ++i) pattern[i] = u8(i * 53 + k);
+    if (ck2.id().valid()) {
+      CO_ASSERT_TRUE(node.enclave("ck2")
+                         .proc_write(*op, op->image_base(), pattern.data(),
+                                     pattern.size())
+                         .ok());
+    }
+
+    // make (owner ck2)
+    Result<Segid> sid{Errc::unreachable};
+    for (int i = 0; i < 120; ++i) {
+      sid = co_await ck2.xpmem_make(*op, op->image_base(), 64_KiB, "sweep");
+      if (sid.ok()) break;
+      CO_ASSERT_TRUE(clean_error(sid.error()));
+      if (sid.error() == Errc::no_name_server) break;  // terminal
+      co_await sim::delay(500_us);
+    }
+
+    // get + attach + read (attacher ck1)
+    Result<XpmemGrant> grant{Errc::unreachable};
+    Result<XpmemAttachment> att{Errc::unreachable};
+    if (sid.ok()) {
+      for (int i = 0; i < 120; ++i) {
+        grant = co_await ck1.xpmem_get(sid.value());
+        if (grant.ok()) {
+          att = co_await ck1.xpmem_attach(*up, grant.value(), 0, 64_KiB);
+          if (att.ok()) break;
+          CO_ASSERT_TRUE(clean_error(att.error()));
+          (void)co_await ck1.xpmem_release(grant.value());
+          grant = Errc::unreachable;
+        } else {
+          CO_ASSERT_TRUE(clean_error(grant.error()));
+          if (grant.error() == Errc::no_name_server) break;
+        }
+        co_await sim::delay(500_us);
+      }
+    }
+    if (att.ok()) {
+      co_await node.enclave("ck1").touch_attached(*up, att.value().va,
+                                                  att.value().pages);
+      std::vector<u8> got(pattern.size());
+      CO_ASSERT_TRUE(node.enclave("ck1")
+                         .proc_read(*up, att.value().va, got.data(), got.size())
+                         .ok());
+      EXPECT_EQ(got, pattern) << "crashpoint " << k;
+    }
+
+    // detach + release (must converge so pins drain)
+    if (att.ok()) {
+      Result<void> d{Errc::unreachable};
+      for (int i = 0; i < 240; ++i) {
+        d = co_await ck1.xpmem_detach(*up, att.value());
+        // not_attached: a retried detach whose predecessor's owner half
+        // did land (response lost with the dying forwarder) — converged.
+        if (d.ok() || d.error() == Errc::not_attached) break;
+        CO_ASSERT_TRUE(clean_error(d.error()));
+        co_await sim::delay(500_us);
+      }
+      EXPECT_TRUE(d.ok() || d.error() == Errc::not_attached)
+          << "crashpoint " << k << ": detach must converge, got "
+          << errc_name(d.error());
+    }
+    if (grant.ok()) (void)co_await ck1.xpmem_release(grant.value());
+
+    // remove (owner withdraws the export)
+    if (sid.ok()) {
+      Result<void> rm{Errc::unreachable};
+      for (int i = 0; i < 240; ++i) {
+        rm = co_await ck2.xpmem_remove(*op, sid.value());
+        // no_such_segid: the registry entry is already gone (a retried
+        // remove, or the dying NS took it and nobody replayed it yet).
+        if (rm.ok() || rm.error() == Errc::no_such_segid) break;
+        CO_ASSERT_TRUE(clean_error(rm.error()) || rm.error() == Errc::busy);
+        co_await sim::delay(500_us);
+      }
+      EXPECT_TRUE(rm.ok() || rm.error() == Errc::no_such_segid)
+          << "crashpoint " << k << ": remove must converge";
+    }
+
+    // Convergence invariants: no pins survive, no frame refs leak.
+    EXPECT_EQ(ck1.pinned_frames(), 0u) << "crashpoint " << k;
+    EXPECT_EQ(ck2.pinned_frames(), 0u) << "crashpoint " << k;
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u) << "crashpoint " << k;
+
+    out.promoted = ck1.is_name_server() || ck2.is_name_server();
+    if (out.promoted) {
+      // Post-recovery: a fresh export is minted in the new epoch and a
+      // remote attach round-trips data through it.
+      XememKernel* ns = ck1.is_name_server() ? &ck1 : &ck2;
+      XememKernel* peer = ns == &ck1 ? &ck2 : &ck1;
+      os::Process* np =
+          node.enclave(ns == &ck1 ? "ck1" : "ck2").create_process(1_MiB).value();
+      os::Process* pp = ns == &ck1 ? up : op;
+      os::Enclave& ns_os = node.enclave(ns == &ck1 ? "ck1" : "ck2");
+      os::Enclave& peer_os = node.enclave(ns == &ck1 ? "ck2" : "ck1");
+      std::vector<u8> fresh(4_KiB);
+      for (size_t i = 0; i < fresh.size(); ++i) fresh[i] = u8(i * 17 + 3);
+      CO_ASSERT_TRUE(
+          ns_os.proc_write(*np, np->image_base(), fresh.data(), fresh.size())
+              .ok());
+      auto nsid = co_await ns->xpmem_make(*np, np->image_base(), 4_KiB);
+      CO_ASSERT_TRUE(nsid.ok());
+      EXPECT_EQ(segid_epoch(nsid.value()), ns->ns_epoch());
+      EXPECT_GE(ns->ns_epoch(), 2u);
+      Result<XpmemGrant> g2{Errc::unreachable};
+      Result<XpmemAttachment> a2{Errc::unreachable};
+      for (int i = 0; i < 240; ++i) {
+        g2 = co_await peer->xpmem_get(nsid.value());
+        if (g2.ok()) {
+          a2 = co_await peer->xpmem_attach(*pp, g2.value(), 0, 4_KiB);
+          if (a2.ok()) break;
+          CO_ASSERT_TRUE(clean_error(a2.error()));
+          (void)co_await peer->xpmem_release(g2.value());
+          g2 = Errc::unreachable;
+        } else {
+          CO_ASSERT_TRUE(clean_error(g2.error()));
+        }
+        co_await sim::delay(500_us);
+      }
+      CO_ASSERT_TRUE(a2.ok());
+      co_await peer_os.touch_attached(*pp, a2.value().va, a2.value().pages);
+      std::vector<u8> got(fresh.size());
+      CO_ASSERT_TRUE(
+          peer_os.proc_read(*pp, a2.value().va, got.data(), got.size()).ok());
+      EXPECT_EQ(got, fresh) << "crashpoint " << k;
+      CO_ASSERT_TRUE((co_await peer->xpmem_detach(*pp, a2.value())).ok());
+      CO_ASSERT_TRUE((co_await peer->xpmem_release(g2.value())).ok());
+      EXPECT_EQ(node.machine().pmem().total_refs(), 0u) << "crashpoint " << k;
+    }
+    out.ns_requests = mgmt.stats().ns_requests;
+  };
+  eng.run(main());
+  return out;
+}
+
+TEST(NsFailover, CrashpointSweepConverges) {
+  // Enumerate every protocol step the boot name server processes during a
+  // make/get/attach/release/remove workload and kill it at each one. The
+  // k = 0 baseline also checks pay-for-use: no failover machinery fires
+  // when nothing dies.
+  SweepResult base = run_crashpoint(0);
+  EXPECT_FALSE(base.promoted) << "baseline must not fail over";
+  ASSERT_GT(base.ns_requests, 4u);
+  u64 promotions = 0;
+  for (u64 k = 1; k <= base.ns_requests + 2; ++k) {
+    SweepResult r = run_crashpoint(k);
+    if (r.promoted) ++promotions;
+  }
+  // k = 1 kills the NS before any enclave registers (no standby exists,
+  // clean terminal statuses are acceptable); once a standby holds an id,
+  // promotion must actually happen.
+  EXPECT_GT(promotions, base.ns_requests / 2)
+      << "most crashpoints must recover via promotion";
+}
+
+TEST(NsFailover, StandbylessCrashIsDefinedFailureMode) {
+  // Satellite: without a standby, a name-server crash no longer aborts
+  // (the old assert) or hangs — NS-bound requests exhaust their retries,
+  // discovery exhausts its probe rounds, and callers get the terminal
+  // Errc::no_name_server.
+  sim::Engine eng(9003);
+  Node node(hw::Machine::r420());
+  KernelConfig cfg;
+  cfg.request_timeout = 1_ms;
+  cfg.ping_timeout = 200_us;
+  cfg.max_retries = 2;
+  cfg.backoff_base = 100_us;
+  cfg.backoff_max = 400_us;
+  cfg.discovery_max_rounds = 4;  // failover stays OFF
+  node.set_kernel_config(cfg);
+  auto& mgmt = node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto& ck = node.add_cokernel("ck", 0, {6, 7}, 256_MiB);
+
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    mgmt.crash();
+    EXPECT_TRUE(mgmt.is_crashed());
+
+    // Interim attempts may see plain unreachable while retries burn down;
+    // the terminal state must be reached, bounded, with no hang.
+    Errc last = Errc::ok;
+    for (int i = 0; i < 50; ++i) {
+      auto s = co_await ck.xpmem_search("anything");
+      CO_ASSERT_TRUE(!s.ok());
+      last = s.error();
+      CO_ASSERT_TRUE(last == Errc::unreachable || last == Errc::no_name_server);
+      if (last == Errc::no_name_server) break;
+      co_await sim::delay(1_ms);
+    }
+    EXPECT_EQ(last, Errc::no_name_server);
+    EXPECT_TRUE(ck.ns_lost());
+    // The enclave registered before the crash, so only the service — not
+    // the registration — is lost.
+    EXPECT_FALSE(ck.registration_failed());
+  };
+  eng.run(main());
+}
+
+TEST(NsFailover, FullyPartitionedEnclaveSurfacesTerminalStatus) {
+  // Satellite: an enclave whose every channel is dead must not retry
+  // discovery into the void forever — registration gives up after
+  // discovery_max_rounds and surfaces a terminal status.
+  sim::Engine eng(9004);
+  Node node(hw::Machine::r420());
+  KernelConfig cfg;
+  cfg.request_timeout = 1_ms;
+  cfg.ping_timeout = 200_us;
+  cfg.max_retries = 1;
+  cfg.backoff_base = 100_us;
+  cfg.backoff_max = 400_us;
+  cfg.discovery_max_rounds = 4;
+  node.set_kernel_config(cfg);
+  node.enable_fault_injection(FaultSpec{}, /*seed=*/601);  // transparent wrap
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto& ck = node.add_cokernel("ck", 0, {6, 7}, 256_MiB);
+  // Sever the enclave's only link before anything starts.
+  for (const auto& ep : node.faulty_endpoints()) ep->kill();
+
+  auto main = [&]() -> sim::Task<void> {
+    const sim::TimePoint t0 = sim::now();
+    co_await node.start();  // completes: registration fails terminally
+    EXPECT_TRUE(ck.ns_lost());
+    EXPECT_TRUE(ck.registration_failed());
+    EXPECT_FALSE(ck.id().valid());
+    // Bounded: max_rounds sweeps of (probe timeout + backoff), not forever.
+    EXPECT_LT(sim::now() - t0, u64(1'000) * 1_ms);
+
+    os::Process* p = node.enclave("ck").create_process(1_MiB).value();
+    auto sid = co_await ck.xpmem_make(*p, p->image_base(), 4_KiB);
+    EXPECT_EQ(sid.error(), Errc::no_name_server);
+  };
+  eng.run(main());
+}
+
+TEST(NsFailover, CollectiveBootstrapSurvivesNsCrash) {
+  // Acceptance: kill the name server mid-collective-bootstrap. With a
+  // standby configured the bootstrap's retry loops ride out the failover
+  // and the collective completes (or would post a sticky error — here it
+  // must complete, since recovery fits the bootstrap deadline).
+  sim::Engine eng(9005);
+  Node node(hw::Machine::r420());
+  node.set_kernel_config(failover_config());
+  auto& mgmt = node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  node.add_cokernel("ck1", 0, {4, 5}, 256_MiB);
+  node.add_cokernel("ck2", 0, {6, 7}, 256_MiB);
+  node.link_peers("ck1", "ck2");
+
+  coll::CollConfig ccfg;
+  ccfg.slot_bytes = 32_KiB;
+  ccfg.chunk_bytes = 8_KiB;
+  ccfg.bootstrap_timeout = 400_ms;
+  ccfg.timeout = 100_ms;
+
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    // The bootstrap's very next NS interactions trip the crash.
+    mgmt.crash_after_ns_requests(mgmt.stats().ns_requests + 3);
+
+    const std::vector<std::string> placement{"ck1", "ck2"};
+    std::vector<Comm::Member> members;
+    for (u32 r = 0; r < 2; ++r) {
+      auto& enclave = node.enclave(placement[r]);
+      hw::Core* core = enclave.cores()[0];
+      auto proc = enclave.create_process(
+          Comm::region_bytes(2, ccfg) + kPageSize, core);
+      CO_ASSERT_TRUE(proc.ok());
+      members.push_back(Comm::Member{&node.kernel(placement[r]), &enclave,
+                                     proc.value(), core,
+                                     proc.value()->image_base()});
+    }
+
+    std::vector<std::unique_ptr<Comm>> comms(2);
+    u32 pending = 2;
+    sim::Event all_done;
+    auto boot = [&](u32 r) -> sim::Task<void> {
+      auto c = co_await Comm::create(members[r], "ft", r, 2, ccfg);
+      CO_ASSERT_TRUE(c.ok());
+      comms[r] = std::move(c).value();
+      if (--pending == 0) all_done.set();
+    };
+    for (u32 r = 0; r < 2; ++r) sim::Engine::current()->spawn(boot(r));
+    co_await all_done.wait();
+    CO_ASSERT_TRUE(comms[0] != nullptr && comms[1] != nullptr);
+    EXPECT_TRUE(mgmt.is_crashed()) << "the crashpoint must actually fire";
+
+    // The communicator works after recovery: barrier + allreduce.
+    u32 left = 2;
+    sim::Event ops_done;
+    auto run_ops = [&](u32 r) -> sim::Task<void> {
+      CO_ASSERT_TRUE((co_await comms[r]->barrier()).ok());
+      std::vector<double> in(512), out(512, 0.0);
+      for (size_t i = 0; i < in.size(); ++i) in[i] = double(r + 1);
+      CO_ASSERT_TRUE(
+          (co_await comms[r]->allreduce(in.data(), out.data(), in.size(),
+                                        coll::ReduceOp::sum))
+              .ok());
+      for (double v : out) CO_ASSERT_TRUE(v == 3.0);  // 1 + 2
+      (void)co_await comms[r]->finalize();
+      if (--left == 0) ops_done.set();
+    };
+    for (u32 r = 0; r < 2; ++r) sim::Engine::current()->spawn(run_ops(r));
+    co_await ops_done.wait();
+    EXPECT_EQ(node.machine().pmem().total_refs(), 0u);
+  };
+  eng.run(main());
+}
+
+TEST(NsFailover, PromotionIsDeterministicPerSeed) {
+  // The failover machinery rides the deterministic scheduler: identical
+  // seeds reproduce the promotion instant and recovery stats exactly.
+  auto run_once = []() {
+    sim::Engine eng(9006);
+    Node node(hw::Machine::r420());
+    node.set_kernel_config(failover_config());
+    node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+    auto& ck1 = node.add_cokernel("ck1", 0, {4, 5}, 256_MiB);
+    auto& ck2 = node.add_cokernel("ck2", 0, {6, 7}, 256_MiB);
+    node.link_peers("ck1", "ck2");
+    u64 fingerprint = 0;
+    auto main = [&]() -> sim::Task<void> {
+      co_await node.start();
+      os::Process* op = node.enclave("ck2").create_process(8_MiB).value();
+      auto sid = co_await ck2.xpmem_make(*op, op->image_base(), 64_KiB, "d");
+      CO_ASSERT_TRUE(sid.ok());
+      node.kernel("linux").crash();
+      XememKernel* standby = ck1.id().value() == 1 ? &ck1 : &ck2;
+      for (int i = 0; i < 400 && standby->stats().reregistrations == 0; ++i) {
+        co_await sim::delay(100_us);
+      }
+      fingerprint = sim::now() ^ (standby->stats().recovery_latency << 16) ^
+                    (standby->ns_epoch() << 56);
+    };
+    eng.run(main());
+    return fingerprint;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace xemem
