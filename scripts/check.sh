@@ -1,21 +1,34 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 build + tests, then the same suite under
 # AddressSanitizer/UBSan (catches lifetime bugs the coroutine-heavy
-# simulator is prone to), plus an optional standalone UBSan leg.
-# Usage: scripts/check.sh [--asan-only|--fast|--ubsan]
+# simulator is prone to), plus optional standalone UBSan and TSan legs
+# (the sim is single-threaded by design; the TSan leg guards that
+# invariant against accidental thread use).
+# Usage: scripts/check.sh [--asan-only|--fast|--ubsan|--tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 asan_only=0
 ubsan=0
+tsan=0
 case "${1:-}" in
   --fast) fast=1 ;;
   --asan-only) asan_only=1 ;;
   --ubsan) ubsan=1 ;;
+  --tsan) tsan=1 ;;
   "") ;;
-  *) echo "usage: $0 [--asan-only|--fast|--ubsan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--asan-only|--fast|--ubsan|--tsan]" >&2; exit 2 ;;
 esac
+
+if [[ $tsan -eq 1 ]]; then
+  echo "== sanitizers: standalone tsan build + ctest =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j
+  ctest --preset tsan -j "$(nproc)"
+  echo "all checks passed"
+  exit 0
+fi
 
 if [[ $ubsan -eq 1 ]]; then
   echo "== sanitizers: standalone ubsan build + ctest =="
@@ -42,6 +55,10 @@ if [[ $asan_only -eq 0 ]]; then
   echo "== name-service failover crashpoint-sweep smoke =="
   ./build/bench/ablation_ns_failover --quick --json build/ns_failover.json
   cp build/ns_failover.json BENCH_ns_failover.json
+
+  echo "== sharded name-service churn-storm smoke =="
+  ./build/bench/ablation_ns_shard --quick --json build/ns_shard.json
+  cp build/ns_shard.json BENCH_ns_shard.json
 fi
 
 if [[ $fast -eq 0 ]]; then
@@ -58,6 +75,10 @@ if [[ $fast -eq 0 ]]; then
 
   echo "== name-service failover crashpoint-sweep smoke (asan) =="
   ./build-asan/bench/ablation_ns_failover --quick --json build-asan/ns_failover.json
+
+  echo "== sharded name-service churn-storm smoke (asan) =="
+  ./build-asan/bench/ablation_ns_shard --quick --json build-asan/ns_shard.json
+  cp build-asan/ns_shard.json BENCH_ns_shard.json
 fi
 
 echo "all checks passed"

@@ -54,6 +54,12 @@ bool bootstrap_retryable(Errc e) {
     case Errc::retry_later:
     case Errc::stale_epoch:
     case Errc::no_such_segid:
+    // Sharded name service: a write bounced off a follower mid-election,
+    // or a shard past its partition grace. no_quorum is terminal per
+    // request, but the shard may regain its majority (heal, re-election)
+    // within the bootstrap deadline, so keep trying until then.
+    case Errc::not_primary:
+    case Errc::no_quorum:
       return true;
     default:
       return false;

@@ -95,6 +95,31 @@ class Samples {
   bool sorted_{true};
 };
 
+/// Sustained-rate accumulator for the ablation harnesses: counts events
+/// over an explicitly marked simulated-time window (the simulator clock is
+/// u64 nanoseconds), so throughput rows report ops/sec of the measured
+/// phase rather than of the whole run including setup.
+class Throughput {
+ public:
+  void begin(u64 now_ns) { t0_ = now_ns; }
+  void end(u64 now_ns) { t1_ = now_ns; }
+  void add(u64 events = 1) { n_ += events; }
+
+  u64 events() const { return n_; }
+  double seconds() const {
+    return t1_ > t0_ ? static_cast<double>(t1_ - t0_) / 1e9 : 0.0;
+  }
+  double per_sec() const {
+    const double s = seconds();
+    return s > 0.0 ? static_cast<double>(n_) / s : 0.0;
+  }
+
+ private:
+  u64 t0_{0};
+  u64 t1_{0};
+  u64 n_{0};
+};
+
 /// Fixed-bucket histogram over a log scale; prints ASCII sparklines in the
 /// Figure-7 harness.
 class LogHistogram {

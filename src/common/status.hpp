@@ -31,6 +31,8 @@ enum class Errc {
   no_name_server,     ///< name service terminally lost (no standby promoted)
   stale_epoch,        ///< request carried an old name-service epoch; retry
   retry_later,        ///< transient (e.g. registry rebuilding); retry
+  not_primary,        ///< shard write sent to a follower; retry elsewhere
+  no_quorum,          ///< terminal: shard lost its majority past the grace
 };
 
 /// Human-readable name for an error code.
@@ -97,6 +99,8 @@ inline const char* errc_name(Errc e) {
     case Errc::no_name_server: return "no_name_server";
     case Errc::stale_epoch: return "stale_epoch";
     case Errc::retry_later: return "retry_later";
+    case Errc::not_primary: return "not_primary";
+    case Errc::no_quorum: return "no_quorum";
   }
   return "unknown";
 }

@@ -28,10 +28,85 @@ Cmd response_cmd(Cmd c) {
     case Cmd::detach: return Cmd::detach_resp;
     case Cmd::ns_probe: return Cmd::ns_probe_resp;
     case Cmd::reregister: return Cmd::reregister_resp;
+    case Cmd::shard_replicate: return Cmd::shard_replicate_resp;
+    case Cmd::shard_sync: return Cmd::shard_sync_resp;
+    case Cmd::shard_vote: return Cmd::shard_vote_resp;
+    case Cmd::shard_probe: return Cmd::shard_probe_resp;
     default: return c;
   }
 }
 }  // namespace
+
+// Registry commands a client stamps with (shard, shard_epoch); everything
+// else carrying shard fields is the replica group's internal protocol.
+bool XememKernel::is_shard_client_cmd(Cmd c) {
+  switch (c) {
+    case Cmd::segid_alloc:
+    case Cmd::segid_remove:
+    case Cmd::name_lookup:
+    case Cmd::name_list:
+    case Cmd::get:
+    case Cmd::attach:
+    case Cmd::detach:
+    case Cmd::release:
+    case Cmd::heartbeat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool XememKernel::is_shard_service_cmd(Cmd c) {
+  switch (c) {
+    case Cmd::shard_replicate:
+    case Cmd::shard_sync:
+    case Cmd::shard_vote:
+    case Cmd::shard_probe:
+    case Cmd::shard_announce:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void XememKernel::encode_shard_ops(const std::vector<ShardOp>& ops, Message* m) {
+  bool first = m->name.empty() && m->payload.empty();
+  for (const auto& op : ops) {
+    m->payload.push_back(static_cast<u64>(op.kind));
+    m->payload.push_back(op.epoch);
+    m->payload.push_back(op.segid);
+    m->payload.push_back(op.size);
+    m->payload.push_back(op.owner);
+    if (!first) m->name += '\n';
+    m->name += op.name;
+    first = false;
+  }
+}
+
+std::vector<XememKernel::ShardOp> XememKernel::decode_shard_ops(const Message& m) {
+  std::vector<ShardOp> ops;
+  const u64 n = m.payload.size() / 5;
+  ops.reserve(n);
+  size_t pos = 0;
+  for (u64 i = 0; i < n; ++i) {
+    ShardOp op;
+    op.kind = static_cast<ShardOp::Kind>(m.payload[5 * i]);
+    op.epoch = m.payload[5 * i + 1];
+    op.segid = m.payload[5 * i + 2];
+    op.size = m.payload[5 * i + 3];
+    op.owner = m.payload[5 * i + 4];
+    const size_t next = m.name.find('\n', pos);
+    op.name = m.name.substr(pos, next - pos);
+    pos = next == std::string::npos ? m.name.size() : next + 1;
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+bool XememKernel::same_shard_op(const ShardOp& a, const ShardOp& b) {
+  return a.kind == b.kind && a.epoch == b.epoch && a.segid == b.segid &&
+         a.owner == b.owner;
+}
 
 XememKernel::XememKernel(os::Enclave& os, bool is_name_server, KernelConfig cfg)
     : os_(os), is_ns_(is_name_server), cfg_(cfg) {
@@ -67,6 +142,26 @@ XememKernel::XememKernel(os::Enclave& os, bool is_name_server, KernelConfig cfg)
     cfg_.fwd_ttl = 2 * (cfg_.request_timeout + cfg_.backoff_max);
   }
   if (cfg_.dedup_cache_cap == 0) cfg_.dedup_cache_cap = 1;
+  // A dedup entry idle longer than the worst-case retry window can no
+  // longer be hit legitimately; the same bound as fwd_ttl.
+  if (cfg_.dedup_ttl == 0) {
+    cfg_.dedup_ttl = 2 * (cfg_.request_timeout + cfg_.backoff_max);
+  }
+  if (!cfg_.ns_shards.empty()) {
+    if (cfg_.quorum_timeout == 0) cfg_.quorum_timeout = cfg_.request_timeout;
+    if (cfg_.partition_grace == 0) cfg_.partition_grace = cfg_.ns_recovery_grace;
+    if (cfg_.shard_probe_period == 0) {
+      cfg_.shard_probe_period = cfg_.ns_probe_period;
+    }
+    if (cfg_.shard_probe_misses == 0) cfg_.shard_probe_misses = 1;
+    for (const auto& group : cfg_.ns_shards) {
+      XEMEM_ASSERT_MSG(!group.empty(), "empty shard replica group");
+      for (u64 e : group) {
+        XEMEM_ASSERT_MSG(e != 0, "enclave 0 (root) cannot host a shard");
+      }
+    }
+    shard_epoch_.assign(cfg_.ns_shards.size(), 1);
+  }
 }
 
 void XememKernel::add_channel(ChannelEndpoint* ep) {
@@ -94,6 +189,10 @@ void XememKernel::start() {
     eng->spawn(is_ns_ ? lease_reaper() : heartbeat_actor());
   }
   if (cfg_.ns_failover && !is_ns_) eng->spawn(standby_actor());
+  if (sharding_enabled()) {
+    eng->spawn(shard_bootstrap_actor());
+    eng->spawn(hello_actor());
+  }
 }
 
 void XememKernel::crash() {
@@ -146,6 +245,11 @@ sim::Task<Result<void>> XememKernel::shutdown() {
     req.cmd = Cmd::segid_remove;
     req.dst = EnclaveId{0};
     req.segid = Segid{sid};
+    if (sharding_enabled()) {
+      req.shard = shard_of_segid(req.segid,
+                                 static_cast<u32>(cfg_.ns_shards.size()));
+      req.shard_epoch = shard_believed_epoch(req.shard);
+    }
     auto resp = co_await request(std::move(req));
     if (!resp.ok()) co_return resp.error();
     exports_.erase(sid);
@@ -261,6 +365,38 @@ sim::Task<void> XememKernel::heartbeat_actor() {
     hb.epoch = ns_epoch_;
     ChannelEndpoint* via = route_for(hb.dst);
     if (via != nullptr) co_await via->send(std::move(hb));  // one-way
+    // Sharded registry: leases live on the shard replicas, so the renewal
+    // fans out to every replica of every shard (not just a primary —
+    // followers must not garbage-collect an idle owner after an election
+    // just because the renewal raced the epoch bump).
+    if (sharding_enabled()) {
+      for (u32 s = 0; s < cfg_.ns_shards.size(); ++s) {
+        if (stopped_ || crashed_) break;
+        for (u64 peer : cfg_.ns_shards[s]) {
+          if (peer == id().value()) {
+            // We host this replica ourselves: renew in place.
+            auto it = shard_replicas_.find(s);
+            if (it != shard_replicas_.end()) {
+              auto l = it->second->leases.find(id().value());
+              if (l != it->second->leases.end()) {
+                l->second = sim::now() + cfg_.lease_duration;
+              }
+            }
+            continue;
+          }
+          Message shb;
+          shb.cmd = Cmd::heartbeat;
+          shb.dst = EnclaveId{peer};
+          shb.src = id();
+          shb.req_id = g_req_counter++;
+          shb.epoch = ns_epoch_;
+          shb.shard = s;
+          shb.shard_epoch = shard_believed_epoch(s);
+          ChannelEndpoint* out = route_for(shb.dst);
+          if (out != nullptr) co_await out->send(std::move(shb));  // one-way
+        }
+      }
+    }
     co_await sim::delay(cfg_.heartbeat_period);
   }
 }
@@ -490,8 +626,22 @@ sim::Task<Result<Message>> XememKernel::request(Message msg, ChannelEndpoint* vi
       max_retries < 0 ? cfg_.max_retries : static_cast<u32>(max_retries);
   sim::Duration backoff = cfg_.backoff_base;
 
+  // Sharded registry traffic re-resolves its destination on every attempt:
+  // the believed primary of its shard's current epoch, rotated through the
+  // replica group on not_primary bounces and timeouts so a dead or deposed
+  // primary cannot absorb the whole retry budget.
+  const bool shard_bound = sharding_enabled() && msg.shard_epoch != 0 &&
+                           is_shard_client_cmd(msg.cmd);
+  u32 rot = 0;
+
   for (u32 attempt = 0;; ++attempt) {
     if (crashed_) co_return Errc::unreachable;
+    if (shard_bound) {
+      const auto& group = cfg_.ns_shards[msg.shard];
+      const u64 believed = shard_believed_epoch(msg.shard);
+      msg.shard_epoch = believed;
+      msg.dst = EnclaveId{group[(believed - 1 + rot) % group.size()]};
+    }
     ChannelEndpoint* via = via_in != nullptr ? via_in : route_for(msg.dst);
     if (via == nullptr) {
       // NS-bound traffic with the name service terminally lost (discovery
@@ -516,25 +666,34 @@ sim::Task<Result<Message>> XememKernel::request(Message msg, ChannelEndpoint* vi
       // server is still rebuilding its registry — are retried under the
       // same req_id with the usual backoff; everything else returns.
       const bool retryable = !crashed_ && (resp.status == Errc::stale_epoch ||
-                                           resp.status == Errc::retry_later);
+                                           resp.status == Errc::retry_later ||
+                                           resp.status == Errc::not_primary);
       if (!retryable || attempt >= retries) {
         // Remember the id so a late duplicate of this response is counted,
         // not warned about.
         completed_reqs_[rid] = 1;
-        completed_fifo_.push_back(rid);
-        while (completed_fifo_.size() > cfg_.dedup_cache_cap) {
-          completed_reqs_.erase(completed_fifo_.front());
-          completed_fifo_.pop_front();
+        completed_log_.emplace_back(rid, sim::now());
+        while (completed_log_.size() > cfg_.dedup_cache_cap) {
+          completed_reqs_.erase(completed_log_.front().first);
+          completed_log_.pop_front();
+          ++stats_.dedup_evictions;
         }
         co_return resp;
       }
       ++stats_.retries;
+      if (shard_bound) {
+        // A not_primary bounce means "try the next replica"; an epoch or
+        // grace rejection means "re-resolve the believed primary afresh"
+        // (maybe_adopt_shard_epoch already absorbed the response's epoch).
+        rot = resp.status == Errc::not_primary ? rot + 1 : 0;
+      }
       co_await sim::delay(backoff);
       backoff = std::min<sim::Duration>(backoff * 2, cfg_.backoff_max);
       continue;
     }
 
     ++stats_.timeouts;
+    if (shard_bound) ++rot;  // a silent replica: rotate before retrying
     if (attempt >= retries) {
       // The destination stayed silent through every retry: treat the
       // learned route (if any) as stale so later traffic falls back to
@@ -567,7 +726,7 @@ sim::Task<Result<Message>> XememKernel::request(Message msg, ChannelEndpoint* vi
 }
 
 sim::Task<Result<Message>> XememKernel::request_to_owner(Message msg) {
-  if (is_ns_) {
+  if (is_ns_ && !sharding_enabled()) {
     // We *are* the name server: resolve the owner locally instead of
     // sending to ourselves.
     auto it = ns_segids_.find(msg.segid.value());
@@ -603,7 +762,14 @@ sim::Task<Result<Message>> XememKernel::request_to_owner(Message msg) {
     drop_owner_cache(sid);
   }
 
-  msg.dst = EnclaveId{0};
+  if (sharding_enabled()) {
+    // Route to the segid's home shard (derivable from the segid itself);
+    // the serving replica forwards to the owner like the classic NS does.
+    msg.shard = shard_of_segid(sid, static_cast<u32>(cfg_.ns_shards.size()));
+    msg.shard_epoch = shard_believed_epoch(msg.shard);
+  } else {
+    msg.dst = EnclaveId{0};
+  }
   auto resp = co_await request(std::move(msg));
   if (cfg_.owner_route_cache && resp.ok() && resp.value().status == Errc::ok) {
     cache_owner(sid, resp.value().src);
@@ -652,6 +818,7 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
   // Epoch adoption: any message carrying a newer name-service epoch moves
   // this node forward (and triggers re-registration / re-discovery).
   const bool adopted = maybe_adopt_epoch(msg, from);
+  maybe_adopt_shard_epoch(msg);
   if (msg.cmd == Cmd::ns_announce) {
     // Flood: re-announce on every other link, but only on first adoption —
     // peer links can form cycles, and the strictly-newer check is what
@@ -664,6 +831,12 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
         co_await ep->send(std::move(ann));
       }
     }
+    co_return;
+  }
+  if (msg.cmd == Cmd::hello) {
+    // A directly linked peer announced itself: learn the route so traffic
+    // to it (shard commands, replication) skips the management-hub detour.
+    if (msg.src.valid()) enclave_map_[msg.src.value()] = from;
     co_return;
   }
 
@@ -717,6 +890,20 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
     } else {
       co_await forward(std::move(msg), from);
     }
+    co_return;
+  }
+
+  // 4a. Sharded name service: traffic addressed to a replica this enclave
+  // hosts — the replica-group protocol itself, or a client registry
+  // command stamped with shard fields. Handled detached: a quorum write
+  // suspends awaiting acks that can retrace the very channel it arrived
+  // on (hub-relayed replication), so an inline await would head-of-line
+  // block the service loop against itself until the quorum timeout. The
+  // replica state machine already tolerates the reordering this allows —
+  // hub-relayed delivery reorders anyway.
+  if (msg.dst == id() && sharding_enabled() &&
+      (is_shard_service_cmd(msg.cmd) || msg.shard_epoch != 0)) {
+    sim::Engine::current()->spawn(shard_handle(std::move(msg), from));
     co_return;
   }
 
@@ -779,19 +966,56 @@ sim::Task<void> XememKernel::route_response(Message resp, ChannelEndpoint* from)
   co_await out->send(std::move(resp));
 }
 
-bool XememKernel::dedup_hit(u64 rid, Message* out) const {
+bool XememKernel::dedup_hit(u64 rid, Message* out) {
+  prune_dedup();
   auto it = dedup_.find(rid);
   if (it == dedup_.end()) return false;
-  *out = it->second;
+  *out = it->second.resp;
+  // Touch: move to the LRU tail and refresh the idle-TTL clock, so an
+  // entry still absorbing retries is the last to be evicted.
+  it->second.touched = sim::now();
+  dedup_lru_.splice(dedup_lru_.end(), dedup_lru_, it->second.pos);
   return true;
 }
 
 void XememKernel::dedup_store(u64 rid, const Message& resp) {
-  if (!dedup_.contains(rid)) dedup_fifo_.push_back(rid);
-  dedup_[rid] = resp;
-  while (dedup_fifo_.size() > cfg_.dedup_cache_cap) {
-    dedup_.erase(dedup_fifo_.front());
-    dedup_fifo_.pop_front();
+  prune_dedup();
+  auto it = dedup_.find(rid);
+  if (it != dedup_.end()) {
+    it->second.resp = resp;
+    it->second.touched = sim::now();
+    dedup_lru_.splice(dedup_lru_.end(), dedup_lru_, it->second.pos);
+    return;
+  }
+  dedup_lru_.push_back(rid);
+  dedup_.emplace(rid, DedupEntry{resp, sim::now(), std::prev(dedup_lru_.end())});
+  while (dedup_.size() > cfg_.dedup_cache_cap) {
+    dedup_.erase(dedup_lru_.front());
+    dedup_lru_.pop_front();
+    ++stats_.dedup_evictions;
+  }
+}
+
+// Expire dedup entries idle past their TTL: a retry can no longer arrive
+// for them (fwd_ttl bounds the forwarding fabric the same way), so keeping
+// them only delays capacity eviction of entries that still matter.
+void XememKernel::prune_dedup() {
+  const sim::TimePoint t = sim::now();
+  while (!dedup_lru_.empty()) {
+    auto it = dedup_.find(dedup_lru_.front());
+    XEMEM_ASSERT(it != dedup_.end());
+    if (it->second.touched + cfg_.dedup_ttl > t) break;
+    dedup_.erase(it);
+    dedup_lru_.pop_front();
+    ++stats_.dedup_evictions;
+  }
+  // The completed-request id log ages out on the same clock.
+  while (!completed_log_.empty() &&
+         completed_log_.front().second + cfg_.dedup_ttl <= t) {
+    if (completed_reqs_.erase(completed_log_.front().first) != 0) {
+      ++stats_.dedup_evictions;
+    }
+    completed_log_.pop_front();
   }
 }
 
@@ -801,6 +1025,7 @@ void XememKernel::prune_pending_fwd() {
     if (pending_fwd_.erase(fwd_log_.front().first) != 0) ++stats_.fwd_expired;
     fwd_log_.pop_front();
   }
+  prune_dedup();
 }
 
 // ------------------------------------------------------------- name server
@@ -1234,7 +1459,7 @@ sim::Task<Result<Segid>> XememKernel::xpmem_make(os::Process& owner, Vaddr va,
   const u64 pages = pages_for(size);
 
   Segid sid{};
-  if (is_ns_) {
+  if (is_ns_ && !sharding_enabled()) {
     co_await os_.service_core()->run_irq(costs::kNameServerOp);
     if (!name.empty()) {
       if (ns_names_.contains(name)) co_return Errc::already_exists;
@@ -1248,6 +1473,14 @@ sim::Task<Result<Segid>> XememKernel::xpmem_make(os::Process& owner, Vaddr va,
     req.dst = EnclaveId{0};
     req.size = size;
     req.name = name;
+    if (sharding_enabled()) {
+      // Named exports hash to their home shard (search must agree);
+      // anonymous ones round-robin so registration load spreads.
+      const auto S = static_cast<u32>(cfg_.ns_shards.size());
+      req.shard = name.empty() ? static_cast<u32>(shard_rr_++ % S)
+                               : shard_of_name(name, S);
+      req.shard_epoch = shard_believed_epoch(req.shard);
+    }
     auto resp = co_await request(std::move(req));
     if (!resp.ok()) co_return resp.error();
     if (resp.value().status != Errc::ok) co_return resp.value().status;
@@ -1265,7 +1498,7 @@ sim::Task<Result<void>> XememKernel::xpmem_remove(os::Process& owner, Segid segi
   if (it->second.proc != &owner) co_return Errc::permission_denied;
   if (it->second.attachments > 0) co_return Errc::busy;
 
-  if (is_ns_) {
+  if (is_ns_ && !sharding_enabled()) {
     co_await os_.service_core()->run_irq(costs::kNameServerOp);
     auto ns = ns_segids_.find(segid.value());
     if (ns != ns_segids_.end()) {
@@ -1277,6 +1510,10 @@ sim::Task<Result<void>> XememKernel::xpmem_remove(os::Process& owner, Segid segi
     req.cmd = Cmd::segid_remove;
     req.dst = EnclaveId{0};
     req.segid = segid;
+    if (sharding_enabled()) {
+      req.shard = shard_of_segid(segid, static_cast<u32>(cfg_.ns_shards.size()));
+      req.shard_epoch = shard_believed_epoch(req.shard);
+    }
     auto resp = co_await request(std::move(req));
     if (!resp.ok()) co_return resp.error();
     if (resp.value().status != Errc::ok) co_return resp.value().status;
@@ -1326,7 +1563,7 @@ sim::Task<Result<void>> XememKernel::xpmem_release(const XpmemGrant& grant) {
   req.src = id();
   req.req_id = g_req_counter++;
   req.epoch = ns_epoch_;
-  if (is_ns_) {
+  if (is_ns_ && !sharding_enabled()) {
     auto ns = ns_segids_.find(grant.segid.value());
     if (ns == ns_segids_.end()) co_return Errc::no_such_segid;
     req.dst = ns->second.owner;
@@ -1336,6 +1573,16 @@ sim::Task<Result<void>> XememKernel::xpmem_release(const XpmemGrant& grant) {
     // the owner instead of bouncing off the name server.
     req.dst = oc->second;
     ++stats_.lookup_cache_hits;
+  } else if (sharding_enabled()) {
+    // One-way and best-effort: aim at the believed primary of the segid's
+    // home shard, which forwards to the owner. A missed grant decrement is
+    // tolerable (releases are advisory; remove still fails busy only on
+    // attachments).
+    const auto S = static_cast<u32>(cfg_.ns_shards.size());
+    req.shard = shard_of_segid(grant.segid, S);
+    req.shard_epoch = shard_believed_epoch(req.shard);
+    const auto& group = cfg_.ns_shards[req.shard];
+    req.dst = EnclaveId{group[(req.shard_epoch - 1) % group.size()]};
   }
   ChannelEndpoint* via = route_for(req.dst);
   if (via == nullptr) co_return Errc::unreachable;
@@ -1501,10 +1748,25 @@ std::vector<std::pair<std::string, Segid>> decode_name_list(const Message& m) {
 
 sim::Task<Result<std::vector<std::pair<std::string, Segid>>>>
 XememKernel::xpmem_list() {
-  if (is_ns_) {
+  if (is_ns_ && !sharding_enabled()) {
     co_await os_.service_core()->run_irq(costs::kNameServerOp);
     std::vector<std::pair<std::string, Segid>> out;
     for (const auto& [name, sid] : ns_names_) out.emplace_back(name, sid);
+    co_return out;
+  }
+  if (sharding_enabled()) {
+    // The registry is partitioned: enumerate every shard and merge.
+    std::vector<std::pair<std::string, Segid>> out;
+    for (u32 s = 0; s < cfg_.ns_shards.size(); ++s) {
+      Message req;
+      req.cmd = Cmd::name_list;
+      req.shard = s;
+      req.shard_epoch = shard_believed_epoch(s);
+      auto resp = co_await request(std::move(req));
+      if (!resp.ok()) co_return resp.error();
+      if (resp.value().status != Errc::ok) co_return resp.value().status;
+      for (auto& p : decode_name_list(resp.value())) out.push_back(std::move(p));
+    }
     co_return out;
   }
   Message req;
@@ -1517,7 +1779,7 @@ XememKernel::xpmem_list() {
 }
 
 sim::Task<Result<Segid>> XememKernel::xpmem_search(const std::string& name) {
-  if (is_ns_) {
+  if (is_ns_ && !sharding_enabled()) {
     co_await os_.service_core()->run_irq(costs::kNameServerOp);
     auto it = ns_names_.find(name);
     if (it == ns_names_.end()) co_return Errc::no_such_segid;
@@ -1527,10 +1789,839 @@ sim::Task<Result<Segid>> XememKernel::xpmem_search(const std::string& name) {
   req.cmd = Cmd::name_lookup;
   req.dst = EnclaveId{0};
   req.name = name;
+  if (sharding_enabled()) {
+    req.shard = shard_of_name(name, static_cast<u32>(cfg_.ns_shards.size()));
+    req.shard_epoch = shard_believed_epoch(req.shard);
+  }
   auto resp = co_await request(std::move(req));
   if (!resp.ok()) co_return resp.error();
   if (resp.value().status != Errc::ok) co_return resp.value().status;
   co_return resp.value().segid;
+}
+
+// ---------------------------------------- sharded name service (DESIGN §6c)
+
+sim::Task<void> XememKernel::shard_bootstrap_actor() {
+  co_await registered_.wait();
+  if (crashed_ || stopped_ || !id().valid()) co_return;
+  auto* eng = sim::Engine::current();
+  for (u32 s = 0; s < cfg_.ns_shards.size(); ++s) {
+    const auto& group = cfg_.ns_shards[s];
+    for (u32 i = 0; i < group.size(); ++i) {
+      if (group[i] != id().value()) continue;
+      auto rep = std::make_unique<ShardReplica>();
+      rep->shard = s;
+      rep->self_index = i;
+      rep->primary = (i == 0);  // boot primary of epoch 1
+      rep->last_primary_contact = sim::now();
+      for (u64 peer : group) {
+        if (peer != id().value()) rep->peer_contact[peer] = sim::now();
+      }
+      shard_replicas_.emplace(s, std::move(rep));
+      eng->spawn(shard_probe_actor(s));
+      if (cfg_.lease_duration > 0) eng->spawn(shard_lease_reaper(s));
+    }
+  }
+}
+
+sim::Task<void> XememKernel::hello_actor() {
+  co_await registered_.wait();
+  if (crashed_ || stopped_ || !id().valid()) co_return;
+  // Snapshot: channels_ may grow while this coroutine suspends in send().
+  const std::vector<ChannelEndpoint*> eps = channels_;
+  for (auto* ep : eps) {
+    Message m;
+    m.cmd = Cmd::hello;
+    m.src = id();
+    m.req_id = g_req_counter++;
+    m.epoch = ns_epoch_;
+    co_await ep->send(std::move(m));
+  }
+}
+
+sim::Task<void> XememKernel::shard_handle(Message msg, ChannelEndpoint* from) {
+  auto repit = shard_replicas_.find(msg.shard);
+  if (repit == shard_replicas_.end()) {
+    // Misaddressed: a stale believed epoch can point a client at an
+    // enclave that hosts no replica of this shard. Retryable — the client
+    // rotates and eventually reaches a member carrying the real epoch.
+    if (msg.is_one_way()) co_return;
+    Message rej;
+    rej.cmd = response_cmd(msg.cmd);
+    rej.req_id = msg.req_id;
+    rej.src = id();
+    rej.dst = msg.src;
+    rej.epoch = ns_epoch_;
+    rej.shard = msg.shard;
+    rej.shard_epoch = shard_believed_epoch(msg.shard);
+    rej.status = Errc::retry_later;
+    co_await from->send(std::move(rej));
+    co_return;
+  }
+  ShardReplica* rep = repit->second.get();
+  ++stats_.shard_requests;
+  // Deterministic crashpoint hook: die on the N-th shard-service command,
+  // consuming it before any processing (the sweep never observes a
+  // half-applied mutation).
+  if (crash_after_shard_requests_ != 0 &&
+      stats_.shard_requests >= crash_after_shard_requests_) {
+    crash();
+    co_return;
+  }
+  co_await os_.service_core()->run_irq(costs::kNameServerOp);
+  if (crashed_ || stopped_) co_return;
+
+  const auto& group = cfg_.ns_shards[msg.shard];
+  if (msg.src.valid() &&
+      std::find(group.begin(), group.end(), msg.src.value()) != group.end()) {
+    rep->peer_contact[msg.src.value()] = sim::now();
+  }
+
+  Message resp;
+  resp.cmd = response_cmd(msg.cmd);
+  resp.req_id = msg.req_id;
+  resp.src = id();
+  resp.dst = msg.src;
+  resp.epoch = ns_epoch_;
+  resp.shard = msg.shard;
+  resp.shard_epoch = rep->epoch;
+  resp.status = Errc::ok;
+
+  // ----- Replica-group protocol.
+
+  if (msg.cmd == Cmd::shard_probe) {
+    // A follower checking on its believed primary. A not_primary answer
+    // (carrying our epoch) redirects it without counting as a miss.
+    resp.status = rep->primary ? Errc::ok : Errc::not_primary;
+    co_await from->send(std::move(resp));
+    co_return;
+  }
+
+  if (msg.cmd == Cmd::shard_vote) {
+    // Paxos-style prepare: promise the proposal unless already promised
+    // (or in) something at least as new; a promise carries the full op
+    // log so the winner adopts the most complete history in the quorum.
+    const u64 flr = std::max(rep->epoch, rep->promised);
+    if (msg.shard_epoch <= flr) {
+      resp.status = Errc::stale_epoch;
+      resp.shard_epoch = flr;
+    } else {
+      rep->promised = msg.shard_epoch;
+      encode_shard_ops(rep->log, &resp);
+      resp.offset = rep->log.size();
+    }
+    co_await from->send(std::move(resp));
+    co_return;
+  }
+
+  if (msg.cmd == Cmd::shard_announce) {
+    if (msg.shard_epoch > rep->epoch) {
+      rep->epoch = msg.shard_epoch;
+      rep->primary = false;
+      rep->promoting = false;  // abort any in-flight candidacy: it lost
+      rep->last_primary_contact = sim::now();
+      rep->quorum_lost_at = 0;
+      if (msg.shard < shard_epoch_.size()) {
+        shard_epoch_[msg.shard] =
+            std::max(shard_epoch_[msg.shard], msg.shard_epoch);
+      }
+    }
+    co_return;  // one-way
+  }
+
+  if (msg.cmd == Cmd::shard_replicate || msg.cmd == Cmd::shard_sync) {
+    const u64 flr = std::max(rep->epoch, rep->promised);
+    if (msg.shard_epoch < flr) {
+      resp.status = Errc::stale_epoch;
+      resp.shard_epoch = flr;
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    if (msg.shard_epoch > rep->epoch || rep->primary) {
+      // A primary of a newer epoch exists (or we wrongly believed we led):
+      // step down and follow it.
+      rep->epoch = msg.shard_epoch;
+      rep->primary = false;
+      rep->promoting = false;
+      if (msg.shard < shard_epoch_.size()) {
+        shard_epoch_[msg.shard] =
+            std::max(shard_epoch_[msg.shard], msg.shard_epoch);
+      }
+    }
+    rep->last_primary_contact = sim::now();
+    rep->quorum_lost_at = 0;
+    if (msg.offset > rep->log.size()) {
+      // Gap: we missed earlier entries. Ask for a catch-up suffix starting
+      // at our log end (retry_later + offset is the protocol for that).
+      resp.status = Errc::retry_later;
+      resp.offset = rep->log.size();
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    const std::vector<ShardOp> ops = decode_shard_ops(msg);
+    bool truncated = false;
+    u64 index = msg.offset;
+    for (const auto& op : ops) {
+      if (index < rep->log.size()) {
+        if (!same_shard_op(rep->log[index], op)) {
+          // Conflict: an uncommitted tail from a deposed primary. The
+          // current primary's log wins; drop ours from here on.
+          rep->log.resize(index);
+          truncated = true;
+          rep->log.push_back(op);
+        }
+      } else {
+        rep->log.push_back(op);
+      }
+      ++index;
+    }
+    if (truncated) {
+      shard_rebuild(rep);
+    } else {
+      while (rep->applied < rep->log.size()) {
+        shard_apply(rep, rep->log[rep->applied]);
+        ++rep->applied;
+      }
+    }
+    if (msg.cmd == Cmd::shard_replicate) {
+      ++stats_.replications;
+    } else {
+      ++stats_.catchups;
+    }
+    resp.offset = rep->log.size();
+    resp.shard_epoch = rep->epoch;
+    co_await from->send(std::move(resp));
+    co_return;
+  }
+
+  // ----- Client registry commands.
+
+  if (msg.cmd == Cmd::heartbeat) {
+    // Lease renewal is epoch-agnostic and renew-only: an idle-but-alive
+    // owner must never be garbage-collected because its renewal raced an
+    // election it had not heard about.
+    if (cfg_.lease_duration > 0 && msg.src.valid()) {
+      auto l = rep->leases.find(msg.src.value());
+      if (l != rep->leases.end()) l->second = sim::now() + cfg_.lease_duration;
+    }
+    co_return;  // one-way
+  }
+
+  if (msg.shard_epoch < rep->epoch) {
+    ++stats_.epoch_rejects;
+    if (msg.is_one_way()) co_return;
+    resp.status = Errc::stale_epoch;
+    co_await from->send(std::move(resp));
+    co_return;
+  }
+  if (msg.shard_epoch > rep->epoch) {
+    // The client is ahead of us: an election we have not heard of. Never
+    // serve from a view we know is behind.
+    if (msg.is_one_way()) co_return;
+    resp.status = Errc::retry_later;
+    co_await from->send(std::move(resp));
+    co_return;
+  }
+
+  Message cached;
+  if (dedup_hit(msg.req_id, &cached)) {
+    ++stats_.dup_suppressed;
+    if (!msg.is_one_way()) co_await from->send(std::move(cached));
+    co_return;
+  }
+
+  const bool is_write =
+      msg.cmd == Cmd::segid_alloc || msg.cmd == Cmd::segid_remove;
+  if (is_write && !rep->primary) {
+    ++stats_.not_primary_rejects;
+    resp.status = Errc::not_primary;
+    co_await from->send(std::move(resp));
+    co_return;
+  }
+
+  if (!shard_is_fresh(*rep)) {
+    // Minority side of a partition (or an isolated replica): answer
+    // retry_later inside the grace window, terminal no_quorum after it.
+    if (msg.cmd == Cmd::release) co_return;  // one-way: drop
+    resp.status = shard_unavailable_status(rep);
+    if (resp.status == Errc::no_quorum) ++stats_.no_quorum_rejects;
+    co_await from->send(std::move(resp));
+    co_return;
+  }
+
+  switch (msg.cmd) {
+    case Cmd::segid_alloc: {
+      if (!msg.name.empty() && rep->names.contains(msg.name)) {
+        resp.status = Errc::already_exists;
+        dedup_store(msg.req_id, resp);
+        co_await from->send(std::move(resp));
+        co_return;
+      }
+      // The minting shard issues sequence numbers congruent to itself
+      // (mod the shard count) so shard_of_segid routes segid-keyed
+      // commands home without a directory; the epoch prefix keeps segids
+      // unique across elections (seq restarts per epoch).
+      const auto S = static_cast<u64>(cfg_.ns_shards.size());
+      ShardOp op;
+      op.kind = ShardOp::Kind::alloc;
+      op.epoch = rep->epoch;
+      op.segid = make_segid_value(rep->epoch, rep->next_seq * S + rep->shard);
+      op.size = msg.size;
+      op.owner = msg.src.value();
+      op.name = msg.name;
+      ++rep->next_seq;
+      auto committed = co_await shard_quorum_commit(rep, op);
+      if (crashed_ || stopped_) co_return;
+      resp.shard_epoch = rep->epoch;
+      if (!committed.ok()) {
+        // Never dedup-stored: the client's retry must re-execute against
+        // whichever primary survives.
+        resp.status = committed.error();
+        if (resp.status == Errc::no_quorum) ++stats_.no_quorum_rejects;
+        co_await from->send(std::move(resp));
+        co_return;
+      }
+      resp.segid = Segid{op.segid};
+      dedup_store(msg.req_id, resp);
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::segid_remove: {
+      auto it = rep->segids.find(msg.segid.value());
+      if (it == rep->segids.end()) {
+        // Authoritative: this replica is fresh and the quorum-intersection
+        // property makes its committed view complete.
+        resp.status = Errc::no_such_segid;
+        dedup_store(msg.req_id, resp);
+        co_await from->send(std::move(resp));
+        co_return;
+      }
+      ShardOp op;
+      op.kind = ShardOp::Kind::remove;
+      op.epoch = rep->epoch;
+      op.segid = msg.segid.value();
+      op.size = it->second.size;
+      op.owner = it->second.owner.value();
+      op.name = it->second.name;
+      auto committed = co_await shard_quorum_commit(rep, op);
+      if (crashed_ || stopped_) co_return;
+      resp.shard_epoch = rep->epoch;
+      if (!committed.ok()) {
+        resp.status = committed.error();
+        if (resp.status == Errc::no_quorum) ++stats_.no_quorum_rejects;
+        co_await from->send(std::move(resp));
+        co_return;
+      }
+      dedup_store(msg.req_id, resp);
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::name_lookup: {
+      auto it = rep->names.find(msg.name);
+      if (it == rep->names.end()) {
+        resp.status = Errc::no_such_segid;
+      } else {
+        resp.segid = it->second;
+        resp.size = rep->segids[it->second.value()].size;
+      }
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::name_list: {
+      for (const auto& [nm, sid] : rep->names) {
+        if (!resp.name.empty()) resp.name += '\n';
+        resp.name += nm;
+        resp.payload.push_back(sid.value());
+      }
+      co_await from->send(std::move(resp));
+      co_return;
+    }
+    case Cmd::get:
+    case Cmd::attach:
+    case Cmd::detach:
+    case Cmd::release: {
+      // Segid-keyed commands resolve the owner here and forward, exactly
+      // like the classic name server (the response retraces through the
+      // pending_fwd_ table).
+      auto it = rep->segids.find(msg.segid.value());
+      if (it == rep->segids.end()) {
+        if (msg.cmd == Cmd::release) co_return;  // one-way: drop
+        resp.status = Errc::no_such_segid;
+        dedup_store(msg.req_id, resp);
+        co_await from->send(std::move(resp));
+        co_return;
+      }
+      const EnclaveId owner = it->second.owner;
+      if (owner == id()) {
+        Message resp2;
+        switch (msg.cmd) {
+          case Cmd::get: resp2 = co_await serve_get(msg); break;
+          case Cmd::attach: resp2 = co_await serve_attach(msg); break;
+          case Cmd::detach: resp2 = co_await serve_detach(msg); break;
+          default: {
+            dedup_store(msg.req_id, Message{});  // one-way release marker
+            auto ex = exports_.find(msg.segid.value());
+            if (ex != exports_.end() && ex->second.grants > 0) {
+              --ex->second.grants;
+            }
+            co_return;
+          }
+        }
+        dedup_store(msg.req_id, resp2);
+        co_await from->send(std::move(resp2));
+        co_return;
+      }
+      msg.dst = owner;
+      msg.shard = 0;
+      msg.shard_epoch = 0;  // leaves the shard fabric: plain owner traffic
+      co_await forward(std::move(msg), from);
+      co_return;
+    }
+    default:
+      XLOG_WARN("xemem", "%s: shard %u: unexpected %s", os_.name().c_str(),
+                msg.shard, cmd_name(msg.cmd));
+      co_return;
+  }
+}
+
+sim::Task<Result<void>> XememKernel::shard_quorum_commit(ShardReplica* rep,
+                                                         ShardOp op) {
+  // One write in flight per shard: the log index appended below must be
+  // settled (committed or rolled back) before the next write picks its own.
+  co_await rep->write_mutex.lock();
+  if (crashed_ || stopped_) {
+    rep->write_mutex.unlock();
+    co_return Errc::unreachable;
+  }
+  if (!rep->primary || rep->epoch != op.epoch) {
+    rep->write_mutex.unlock();
+    co_return Errc::not_primary;
+  }
+  const u64 index = rep->log.size();
+  const u64 epoch = rep->epoch;
+  XEMEM_ASSERT_MSG(rep->applied == index,
+                   "primary log must be fully applied before a new write");
+  rep->log.push_back(op);
+
+  const auto& group = cfg_.ns_shards[rep->shard];
+  auto round = std::make_shared<QuorumRound>();
+  round->total = static_cast<u32>(group.size());
+  round->majority = round->total / 2 + 1;
+  if (round->acks >= round->majority) round->settled.set();  // group of one
+  auto* eng = sim::Engine::current();
+  for (u64 peer : group) {
+    if (peer == id().value()) continue;
+    eng->spawn(shard_replicate_to(this, rep, peer, index, op, round));
+  }
+  // Each replication attempt is bounded by quorum_timeout, so this wait is
+  // bounded too: a replica crashing mid-replication can delay the round,
+  // never hang it.
+  co_await round->settled.wait();
+
+  const bool won = round->acks >= round->majority && !crashed_ && !stopped_ &&
+                   rep->primary && rep->epoch == epoch;
+  if (won) {
+    shard_apply(rep, rep->log[index]);
+    rep->applied = index + 1;
+    rep->quorum_lost_at = 0;
+    ++stats_.quorum_writes;
+    rep->write_mutex.unlock();
+    co_return Result<void>{};
+  }
+  ++stats_.quorum_fails;
+  // Roll the unacknowledged tail back so a failed write leaves no trace —
+  // unless an adoption already rewrote the log underneath us.
+  if (rep->log.size() == index + 1 && rep->applied <= index &&
+      same_shard_op(rep->log[index], op)) {
+    rep->log.pop_back();
+  }
+  rep->write_mutex.unlock();
+  if (crashed_ || stopped_) co_return Errc::unreachable;
+  if (!rep->primary || rep->epoch != epoch) co_return Errc::not_primary;
+  co_return shard_unavailable_status(rep);
+}
+
+sim::Task<void> XememKernel::shard_replicate_to(
+    XememKernel* k, ShardReplica* rep, u64 peer, u64 index, ShardOp op,
+    std::shared_ptr<QuorumRound> round) {
+  bool acked = false;
+  Message m;
+  m.cmd = Cmd::shard_replicate;
+  m.src = k->id();
+  m.dst = EnclaveId{peer};
+  m.shard = rep->shard;
+  m.shard_epoch = op.epoch;
+  m.offset = index;
+  encode_shard_ops({op}, &m);
+  auto resp = co_await k->request(std::move(m), nullptr, k->cfg_.quorum_timeout,
+                                  /*max_retries=*/0);
+  if (!k->crashed_ && !k->stopped_ && resp.ok()) {
+    Message& r = resp.value();
+    if (r.status == Errc::ok) {
+      acked = true;
+    } else if (r.status == Errc::retry_later && r.offset < index) {
+      // The follower is missing earlier entries: ship the whole suffix it
+      // lacks in one shard_sync, bounded like the replicate itself. Guard
+      // against the log shifting underneath us while suspended (adoption).
+      if (rep->epoch == op.epoch && rep->log.size() > index &&
+          same_shard_op(rep->log[index], op)) {
+        Message sync;
+        sync.cmd = Cmd::shard_sync;
+        sync.src = k->id();
+        sync.dst = EnclaveId{peer};
+        sync.shard = rep->shard;
+        sync.shard_epoch = op.epoch;
+        sync.offset = r.offset;
+        const std::vector<ShardOp> suffix(
+            rep->log.begin() + static_cast<i64>(r.offset),
+            rep->log.begin() + static_cast<i64>(index) + 1);
+        encode_shard_ops(suffix, &sync);
+        auto sr = co_await k->request(std::move(sync), nullptr,
+                                      k->cfg_.quorum_timeout, 0);
+        if (!k->crashed_ && !k->stopped_ && sr.ok()) {
+          if (sr.value().status == Errc::ok) {
+            acked = true;
+          } else if (sr.value().status == Errc::stale_epoch &&
+                     sr.value().shard_epoch > rep->epoch) {
+            rep->epoch = sr.value().shard_epoch;
+            rep->primary = false;
+          }
+        }
+      }
+    } else if (r.status == Errc::stale_epoch && r.shard_epoch > rep->epoch) {
+      // Deposed: a newer epoch exists somewhere in the group.
+      rep->epoch = r.shard_epoch;
+      rep->primary = false;
+      rep->promoting = false;
+    }
+  }
+  if (acked && !k->crashed_) {
+    ++round->acks;
+    rep->peer_contact[peer] = sim::now();
+  }
+  ++round->done;
+  if (round->acks >= round->majority || round->done >= round->total) {
+    round->settled.set();
+  }
+}
+
+sim::Task<void> XememKernel::shard_probe_actor(u32 shard) {
+  auto it = shard_replicas_.find(shard);
+  if (it == shard_replicas_.end()) co_return;
+  ShardReplica* rep = it->second.get();
+  const auto& group = cfg_.ns_shards[shard];
+  u32 misses = 0;
+  for (;;) {
+    co_await sim::delay(cfg_.shard_probe_period);
+    if (stopped_ || crashed_) co_return;
+    if (rep->primary) {
+      misses = 0;
+      if (!shard_is_fresh(*rep)) {
+        // Check-quorum: a primary that lost its majority probes its peers
+        // directly — to refresh contact after a healed partition, or to
+        // learn it was deposed while isolated and step down. Without this
+        // a deposed primary would keep answering retry_later/no_quorum
+        // forever: nobody probes *it*, and announces were lost to the
+        // partition.
+        for (u64 peer : group) {
+          if (peer == id().value()) continue;
+          Message probe;
+          probe.cmd = Cmd::shard_probe;
+          probe.dst = EnclaveId{peer};
+          probe.shard = shard;
+          probe.shard_epoch = rep->epoch;
+          auto pr = co_await request(std::move(probe), nullptr,
+                                     cfg_.ping_timeout, /*max_retries=*/0);
+          if (stopped_ || crashed_) co_return;
+          if (!rep->primary) break;  // deposed mid-probe by other traffic
+          if (!pr.ok()) continue;
+          if (pr.value().shard_epoch > rep->epoch) {
+            rep->epoch = pr.value().shard_epoch;
+            rep->primary = false;
+            rep->promoting = false;
+            rep->last_primary_contact = sim::now();
+            rep->quorum_lost_at = 0;
+            if (shard < shard_epoch_.size()) {
+              shard_epoch_[shard] =
+                  std::max(shard_epoch_[shard], pr.value().shard_epoch);
+            }
+            XLOG_WARN("xemem", "%s: shard %u primary deposed by epoch %llu",
+                      os_.name().c_str(), shard,
+                      (unsigned long long)rep->epoch);
+            break;
+          }
+          rep->peer_contact[peer] = sim::now();
+        }
+      }
+      continue;
+    }
+    const u64 primary = group[(rep->epoch - 1) % group.size()];
+    if (primary == id().value()) {
+      // The epoch maps the primary slot to us but we are not (yet) primary
+      // — a vote is in flight or an announce is coming; don't probe self.
+      misses = 0;
+      continue;
+    }
+    Message probe;
+    probe.cmd = Cmd::shard_probe;
+    probe.dst = EnclaveId{primary};
+    probe.shard = shard;
+    probe.shard_epoch = rep->epoch;
+    auto resp = co_await request(std::move(probe), nullptr, cfg_.ping_timeout,
+                                 /*max_retries=*/0);
+    if (stopped_ || crashed_) co_return;
+    if (rep->primary) {
+      misses = 0;
+      continue;
+    }
+    if (resp.ok()) {
+      Message& r = resp.value();
+      if (r.shard_epoch > rep->epoch) {
+        // Someone is ahead of us: adopt and give the new regime a fresh
+        // probe cycle before judging it.
+        rep->epoch = r.shard_epoch;
+        rep->promoting = false;
+        rep->last_primary_contact = sim::now();
+        if (shard < shard_epoch_.size()) {
+          shard_epoch_[shard] = std::max(shard_epoch_[shard], r.shard_epoch);
+        }
+        misses = 0;
+        continue;
+      }
+      if (r.status == Errc::ok) {
+        misses = 0;
+        rep->last_primary_contact = sim::now();
+        rep->quorum_lost_at = 0;
+        continue;
+      }
+    }
+    if (++misses >= cfg_.shard_probe_misses) {
+      misses = 0;
+      co_await shard_try_promote(shard);
+      if (stopped_ || crashed_) co_return;
+    }
+  }
+}
+
+sim::Task<void> XememKernel::shard_try_promote(u32 shard) {
+  auto mapit = shard_replicas_.find(shard);
+  if (mapit == shard_replicas_.end()) co_return;
+  ShardReplica* rep = mapit->second.get();
+  if (rep->promoting || rep->primary || crashed_ || stopped_) co_return;
+  rep->promoting = true;
+  const auto& group = cfg_.ns_shards[shard];
+  const auto n = static_cast<u64>(group.size());
+  // Candidate epochs are position-keyed — the smallest epoch above
+  // everything seen whose primary slot ((e-1) % n) is this replica — so
+  // concurrent candidates never propose the same epoch.
+  const u64 flr = std::max(rep->epoch, rep->promised) + 1;
+  const u64 e = flr + ((rep->self_index + n - ((flr - 1) % n)) % n);
+  rep->promised = e;
+  u32 votes = 1;  // self
+  bool outbid = false;
+  std::vector<ShardOp> best = rep->log;
+  for (u64 peer : group) {
+    if (peer == id().value()) continue;
+    if (crashed_ || stopped_ || !rep->promoting) break;
+    Message vote;
+    vote.cmd = Cmd::shard_vote;
+    vote.dst = EnclaveId{peer};
+    vote.shard = shard;
+    vote.shard_epoch = e;
+    auto resp = co_await request(std::move(vote), nullptr, cfg_.quorum_timeout,
+                                 /*max_retries=*/0);
+    if (crashed_ || stopped_) {
+      rep->promoting = false;
+      co_return;
+    }
+    if (!resp.ok()) continue;
+    Message& r = resp.value();
+    if (r.status == Errc::stale_epoch) {
+      if (r.shard_epoch > rep->promised) rep->promised = r.shard_epoch;
+      outbid = true;
+      continue;
+    }
+    if (r.status != Errc::ok) continue;
+    ++votes;
+    rep->peer_contact[peer] = sim::now();
+    // Adopt the most complete log in the vote quorum: any op committed by
+    // a prior primary lives on a majority, and majorities intersect, so
+    // the best log in our quorum contains every committed op.
+    std::vector<ShardOp> peer_log = decode_shard_ops(r);
+    const u64 be = best.empty() ? 0 : best.back().epoch;
+    const u64 pe = peer_log.empty() ? 0 : peer_log.back().epoch;
+    if (pe > be || (pe == be && peer_log.size() > best.size())) {
+      best = std::move(peer_log);
+    }
+  }
+  const auto majority = static_cast<u32>(n / 2 + 1);
+  if (!outbid && !crashed_ && !stopped_ && rep->promoting &&
+      votes >= majority && e > rep->epoch) {
+    rep->epoch = e;
+    rep->primary = true;
+    rep->next_seq = 1;  // the epoch prefix keeps restarted seqs unique
+    rep->log = std::move(best);
+    shard_rebuild(rep);  // re-arms every lease at now + lease_duration
+    rep->quorum_lost_at = 0;
+    rep->last_primary_contact = sim::now();
+    for (u64 peer : group) {
+      if (peer != id().value()) rep->peer_contact[peer] = sim::now();
+    }
+    if (shard < shard_epoch_.size()) {
+      shard_epoch_[shard] = std::max(shard_epoch_[shard], e);
+    }
+    ++stats_.shard_promotions;
+    sim::Engine::current()->spawn(shard_announce_actor(shard, e));
+    XLOG_WARN("xemem", "%s: promoted to primary of shard %u, epoch %llu "
+              "(log %zu)",
+              os_.name().c_str(), shard, static_cast<unsigned long long>(e),
+              rep->log.size());
+  }
+  rep->promoting = false;
+}
+
+sim::Task<void> XememKernel::shard_announce_actor(u32 shard, u64 epoch) {
+  // Targeted one-way announce to the replica group (clients learn the
+  // epoch lazily from their first stale_epoch rejection).
+  const std::vector<u64> group = cfg_.ns_shards[shard];  // send() suspends
+  for (u64 peer : group) {
+    if (peer == id().value()) continue;
+    if (crashed_ || stopped_) co_return;
+    Message ann;
+    ann.cmd = Cmd::shard_announce;
+    ann.src = id();
+    ann.dst = EnclaveId{peer};
+    ann.req_id = g_req_counter++;
+    ann.epoch = ns_epoch_;
+    ann.shard = shard;
+    ann.shard_epoch = epoch;
+    ChannelEndpoint* via = route_for(ann.dst);
+    if (via != nullptr) co_await via->send(std::move(ann));
+  }
+}
+
+sim::Task<void> XememKernel::shard_lease_reaper(u32 shard) {
+  auto it = shard_replicas_.find(shard);
+  if (it == shard_replicas_.end()) co_return;
+  ShardReplica* rep = it->second.get();
+  for (;;) {
+    co_await sim::delay(cfg_.heartbeat_period);
+    if (stopped_ || crashed_) co_return;
+    // Expiry is a replicated decision: only a fresh primary may GC, and it
+    // does so through the log so every replica collects the same enclave
+    // at the same index (a follower's local clocks never GC anything).
+    if (!rep->primary || !shard_is_fresh(*rep)) continue;
+    std::vector<u64> dead;
+    const sim::TimePoint t = sim::now();
+    for (const auto& [e, expiry] : rep->leases) {
+      if (expiry <= t) dead.push_back(e);
+    }
+    for (u64 enclave : dead) {
+      if (stopped_ || crashed_ || !rep->primary) break;
+      auto l = rep->leases.find(enclave);
+      if (l == rep->leases.end() || l->second > sim::now()) continue;  // renewed
+      ShardOp op;
+      op.kind = ShardOp::Kind::lease_gc;
+      op.epoch = rep->epoch;
+      op.owner = enclave;
+      auto committed = co_await shard_quorum_commit(rep, op);
+      if (committed.ok()) {
+        ++stats_.leases_expired;
+        XLOG_WARN("xemem", "%s: shard %u: lease of enclave %llu expired, "
+                  "garbage-collected via the log",
+                  os_.name().c_str(), shard,
+                  static_cast<unsigned long long>(enclave));
+      }
+    }
+  }
+}
+
+void XememKernel::shard_apply(ShardReplica* rep, const ShardOp& op) {
+  switch (op.kind) {
+    case ShardOp::Kind::alloc: {
+      rep->segids[op.segid] =
+          NsSegidRecord{EnclaveId{op.owner}, op.size, op.name};
+      if (!op.name.empty()) rep->names[op.name] = Segid{op.segid};
+      if (cfg_.lease_duration > 0) {
+        rep->leases[op.owner] = sim::now() + cfg_.lease_duration;
+      }
+      break;
+    }
+    case ShardOp::Kind::remove: {
+      auto it = rep->segids.find(op.segid);
+      if (it != rep->segids.end()) {
+        if (!it->second.name.empty()) rep->names.erase(it->second.name);
+        rep->segids.erase(it);
+      }
+      break;
+    }
+    case ShardOp::Kind::lease_gc: {
+      rep->leases.erase(op.owner);
+      for (auto it = rep->segids.begin(); it != rep->segids.end();) {
+        if (it->second.owner == EnclaveId{op.owner}) {
+          if (!it->second.name.empty()) rep->names.erase(it->second.name);
+          it = rep->segids.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+  }
+}
+
+void XememKernel::shard_rebuild(ShardReplica* rep) {
+  rep->segids.clear();
+  rep->names.clear();
+  rep->leases.clear();
+  rep->applied = 0;
+  for (const auto& op : rep->log) {
+    shard_apply(rep, op);
+    ++rep->applied;
+  }
+}
+
+u64 XememKernel::shard_believed_epoch(u32 shard) const {
+  auto it = shard_replicas_.find(shard);
+  if (it != shard_replicas_.end()) return it->second->epoch;
+  if (shard < shard_epoch_.size()) return std::max<u64>(shard_epoch_[shard], 1);
+  return 1;
+}
+
+void XememKernel::maybe_adopt_shard_epoch(const Message& msg) {
+  if (!sharding_enabled() || msg.shard_epoch == 0) return;
+  if (msg.shard >= shard_epoch_.size()) return;
+  if (msg.shard_epoch > shard_epoch_[msg.shard]) {
+    shard_epoch_[msg.shard] = msg.shard_epoch;
+  }
+}
+
+bool XememKernel::shard_is_fresh(const ShardReplica& rep) const {
+  const auto& group = cfg_.ns_shards[rep.shard];
+  const auto n = group.size();
+  if (n == 1) return true;  // a replication factor of one is always "fresh"
+  // "Recent" = a couple of probe cycles: within that bound a partitioned
+  // minority keeps answering from possibly-stale state (retry_later tells
+  // the client so), beyond it the majority side has certainly elected.
+  const sim::Duration bound =
+      2 * static_cast<sim::Duration>(cfg_.shard_probe_misses) *
+      cfg_.shard_probe_period;
+  const sim::TimePoint t = sim::now();
+  if (!rep.primary) return rep.last_primary_contact + bound >= t;
+  u32 heard = 1;  // self
+  for (const auto& [peer, when] : rep.peer_contact) {
+    if (when + bound >= t) ++heard;
+  }
+  return heard >= n / 2 + 1;
+}
+
+Errc XememKernel::shard_unavailable_status(ShardReplica* rep) {
+  // The grace window anchors at the first observed quorum loss; any
+  // successful quorum write or primary contact resets it.
+  if (rep->quorum_lost_at == 0) rep->quorum_lost_at = sim::now();
+  return sim::now() - rep->quorum_lost_at <= cfg_.partition_grace
+             ? Errc::retry_later
+             : Errc::no_quorum;
 }
 
 }  // namespace xemem

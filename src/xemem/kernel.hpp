@@ -16,6 +16,7 @@
 #pragma once
 
 #include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -60,8 +61,13 @@ struct KernelConfig {
   /// response; 0 defaults to 2 * (request_timeout + backoff_max) so an
   /// entry outlives every legitimate retry of its request.
   sim::Duration fwd_ttl{0};
-  /// Responses remembered for duplicate suppression (FIFO eviction).
+  /// Responses remembered for duplicate suppression (LRU eviction).
   u64 dedup_cache_cap{1024};
+  /// Idle TTL on dedup-cache entries: an entry untouched for this long can
+  /// no longer be hit by a legitimate retry and is evicted (0 defaults to
+  /// 2 * (request_timeout + backoff_max), the same bound as fwd_ttl).
+  /// Every capacity or TTL eviction bumps Stats::dedup_evictions.
+  sim::Duration dedup_ttl{0};
 
   // ----- Attach fast path (all opt-in, like the lease machinery: the
   // defaults reproduce the historical cold-path behavior so the paper
@@ -120,6 +126,33 @@ struct KernelConfig {
   /// Convenience: turn on name-server failover.
   KernelConfig& enable_ns_failover() {
     ns_failover = true;
+    return *this;
+  }
+
+  // ----- Sharded, quorum-replicated name service (opt-in; DESIGN.md §6c).
+
+  /// Replica groups, one per registry shard: ns_shards[s] lists the
+  /// enclave ids hosting shard s; ns_shards[s][0] is the boot primary
+  /// (epoch 1), and the primary of epoch e is ns_shards[s][(e-1) % size].
+  /// Groups must not contain enclave 0 (the root keeps discovery,
+  /// enclave-id allocation, and routing duties). Empty = classic
+  /// single-registry behavior.
+  std::vector<std::vector<u64>> ns_shards;
+  /// Follower -> primary liveness probe cadence (0 -> ns_probe_period).
+  sim::Duration shard_probe_period{0};
+  /// Consecutive unanswered probes before a follower calls a vote.
+  u32 shard_probe_misses{3};
+  /// Per-replica bound on one quorum-write replication attempt, so an
+  /// in-flight write outlives no crashed follower (0 -> request_timeout).
+  sim::Duration quorum_timeout{0};
+  /// After losing quorum (or primary contact), replicas answer
+  /// Errc::retry_later for this long, then terminal Errc::no_quorum
+  /// (0 -> ns_recovery_grace).
+  sim::Duration partition_grace{0};
+
+  /// Convenience: shard the registry across @p groups replica groups.
+  KernelConfig& enable_ns_sharding(std::vector<std::vector<u64>> groups) {
+    ns_shards = std::move(groups);
     return *this;
   }
 };
@@ -243,6 +276,38 @@ class XememKernel {
   /// crashpoint-sweep harness enumerates every protocol step this way
   /// (0 disables the hook).
   void crash_after_ns_requests(u64 n) { crash_after_ns_requests_ = n; }
+  /// Same hook for shard replicas: crash() immediately before this
+  /// replica's @p n-th shard-service command (any role, any shard hosted
+  /// here). Extends the crashpoint sweep to shard primaries and followers.
+  void crash_after_shard_requests(u64 n) { crash_after_shard_requests_ = n; }
+
+  // ------------------------------------------ shard diagnostics (§6c)
+
+  /// Whether the sharded name service is configured on this kernel.
+  bool sharding_enabled() const { return !cfg_.ns_shards.empty(); }
+  /// Whether this enclave hosts a replica of shard @p s.
+  bool hosts_shard(u32 s) const { return shard_replicas_.contains(s); }
+  /// Whether this replica currently believes it is shard @p s's primary.
+  bool is_shard_primary(u32 s) const {
+    auto it = shard_replicas_.find(s);
+    return it != shard_replicas_.end() && it->second->primary;
+  }
+  /// The shard epoch this replica of @p s is in (0 if not hosted here).
+  u64 shard_epoch_of(u32 s) const {
+    auto it = shard_replicas_.find(s);
+    return it != shard_replicas_.end() ? it->second->epoch : 0;
+  }
+  /// Registry view / op-log sizes of the local replica of shard @p s.
+  u64 shard_segid_count(u32 s) const {
+    auto it = shard_replicas_.find(s);
+    return it != shard_replicas_.end() ? it->second->segids.size() : 0;
+  }
+  u64 shard_log_size(u32 s) const {
+    auto it = shard_replicas_.find(s);
+    return it != shard_replicas_.end() ? it->second->log.size() : 0;
+  }
+  /// Dedup-cache occupancy (bounded by dedup_cache_cap and dedup_ttl).
+  u64 dedup_entries() const { return dedup_.size(); }
 
   const KernelConfig& config() const { return cfg_; }
 
@@ -277,6 +342,15 @@ class XememKernel {
     u64 epoch_rejects{0};    ///< stale-epoch commands rejected as name server
     u64 reregistrations{0};  ///< survivor re-registration rounds absorbed
     u64 recovery_latency{0}; ///< ns: promotion -> latest re-registration
+    u64 dedup_evictions{0};  ///< dedup-cache entries evicted (cap or TTL)
+    u64 shard_requests{0};   ///< commands processed as a shard replica
+    u64 quorum_writes{0};    ///< shard writes committed with majority acks
+    u64 quorum_fails{0};     ///< shard writes that missed their majority
+    u64 replications{0};     ///< ops applied from a primary's replicate
+    u64 catchups{0};         ///< log-suffix syncs absorbed as a follower
+    u64 shard_promotions{0}; ///< elections won as a shard replica
+    u64 not_primary_rejects{0};  ///< writes bounced because we follow
+    u64 no_quorum_rejects{0};    ///< terminal rejections past the grace
   };
   const Stats& stats() const { return stats_; }
 
@@ -301,6 +375,58 @@ class XememKernel {
     EnclaveId owner;
     u64 size;
     std::string name;
+  };
+
+  // ----------------------------------------- sharded name service (§6c)
+
+  /// One entry of a shard's replicated op log. The log is the durable
+  /// truth: every replica's registry view is a pure replay of its log
+  /// prefix, so follower catch-up and post-election adoption are log
+  /// copies, not survivor re-registration rounds.
+  struct ShardOp {
+    enum class Kind : u8 { alloc = 1, remove = 2, lease_gc = 3 };
+    Kind kind{Kind::alloc};
+    u64 epoch{0};  ///< shard epoch whose primary appended it
+    u64 segid{0};  ///< alloc/remove target (lease_gc: unused)
+    u64 size{0};
+    u64 owner{0};  ///< owning enclave (lease_gc: the expired enclave)
+    std::string name;
+  };
+
+  /// Per-shard replica state. Heap-allocated (unique_ptr) so suspended
+  /// quorum/vote coroutines can hold stable pointers across map growth.
+  struct ShardReplica {
+    u32 shard{0};
+    u32 self_index{0};  ///< position in cfg_.ns_shards[shard]
+    u64 epoch{1};       ///< current shard epoch (primary = group[(e-1)%n])
+    u64 promised{0};    ///< highest vote proposal promised to
+    bool primary{false};
+    bool promoting{false};
+    std::vector<ShardOp> log;
+    u64 applied{0};   ///< log prefix materialized into the view below
+    u64 next_seq{1};  ///< per-epoch mint counter (segid seq = seq*S + shard)
+    // Registry view: a replay of the log prefix.
+    std::unordered_map<u64, NsSegidRecord> segids;
+    std::unordered_map<std::string, Segid> names;
+    std::unordered_map<u64, sim::TimePoint> leases;  // owner -> expiry
+    // Liveness bookkeeping: when each peer replica was last heard from
+    // (probe answers, replicate acks, votes) and, on followers, when the
+    // primary last proved itself. Drives read-freshness and the
+    // retry_later -> no_quorum partition transition.
+    std::unordered_map<u64, sim::TimePoint> peer_contact;
+    sim::TimePoint last_primary_contact{0};
+    sim::TimePoint quorum_lost_at{0};  ///< first failed write (0 = healthy)
+    sim::Mutex write_mutex;  ///< quorum writes serialize per shard
+  };
+
+  /// Shared fan-out state of one quorum write (heap-shared with the
+  /// per-follower replication tasks, which may outlive the commit wait).
+  struct QuorumRound {
+    u32 acks{1};  ///< self-ack included
+    u32 done{1};
+    u32 total{0};
+    u32 majority{0};
+    sim::Event settled;
   };
 
   // ------------------------------------------------------------ plumbing
@@ -355,11 +481,59 @@ class XememKernel {
   // Name-server command handling (only when is_ns_).
   sim::Task<void> ns_handle(Message msg, ChannelEndpoint* from);
 
+  // ----- Sharded name service plumbing (DESIGN.md §6c).
+  /// Commands a client addresses to a shard (as opposed to the replica
+  /// group's internal protocol traffic).
+  static bool is_shard_client_cmd(Cmd c);
+  /// The replica-group protocol commands themselves.
+  static bool is_shard_service_cmd(Cmd c);
+  /// Install local ShardReplica state and actors once registered.
+  sim::Task<void> shard_bootstrap_actor();
+  /// One-way announce of this enclave's id on every channel after
+  /// registration, so directly linked peers learn each other's routes and
+  /// shard traffic need not detour through the management hub.
+  sim::Task<void> hello_actor();
+  /// Shard-op wire codec: 5 u64s per op in payload (kind, epoch, segid,
+  /// size, owner) plus one '\n'-separated name field per op.
+  static void encode_shard_ops(const std::vector<ShardOp>& ops, Message* m);
+  static std::vector<ShardOp> decode_shard_ops(const Message& m);
+  static bool same_shard_op(const ShardOp& a, const ShardOp& b);
+  /// Serve one shard-addressed command on a hosted replica.
+  sim::Task<void> shard_handle(Message msg, ChannelEndpoint* from);
+  /// Append @p op, replicate to the group, apply on majority ack.
+  /// Returns retry_later/no_quorum on a missed majority.
+  sim::Task<Result<void>> shard_quorum_commit(ShardReplica* rep, ShardOp op);
+  static sim::Task<void> shard_replicate_to(XememKernel* k, ShardReplica* rep,
+                                            u64 peer, u64 index, ShardOp op,
+                                            std::shared_ptr<QuorumRound> round);
+  /// Follower-side probe of the believed primary; calls a vote on misses.
+  sim::Task<void> shard_probe_actor(u32 shard);
+  sim::Task<void> shard_try_promote(u32 shard);
+  sim::Task<void> shard_announce_actor(u32 shard, u64 epoch);
+  /// Primary-side lease sweep: expiries become quorum-committed lease_gc
+  /// ops so followers GC the same enclaves at the same log index.
+  sim::Task<void> shard_lease_reaper(u32 shard);
+  /// Apply one committed op to the replica's registry view.
+  void shard_apply(ShardReplica* rep, const ShardOp& op);
+  /// Rebuild the view by replaying the whole log (conflict truncation,
+  /// post-election adoption).
+  void shard_rebuild(ShardReplica* rep);
+  /// Client-side believed epoch for @p shard (local replica knows best).
+  u64 shard_believed_epoch(u32 shard) const;
+  void maybe_adopt_shard_epoch(const Message& msg);
+  /// Read-freshness: this replica has heard from a majority (primary) or
+  /// its primary (follower) recently enough to answer authoritatively.
+  bool shard_is_fresh(const ShardReplica& rep) const;
+  /// retry_later inside the partition grace window, no_quorum after it.
+  Errc shard_unavailable_status(ShardReplica* rep);
+
   // Per-command idempotency: responses are remembered by req_id so a
   // retried command that actually arrived is answered from the cache
   // instead of executing twice (double-pinning frames, leaking segids).
-  bool dedup_hit(u64 rid, Message* out) const;
+  // LRU + idle-TTL bounded (satellite: dedup_evictions accounting).
+  bool dedup_hit(u64 rid, Message* out);
   void dedup_store(u64 rid, const Message& resp);
+  void prune_dedup();
   // Lease bookkeeping (name-server side; no-ops when leases disabled).
   void ns_touch_lease(EnclaveId e);
   void ns_gc_expired_leases();
@@ -401,12 +575,19 @@ class XememKernel {
   std::deque<std::pair<u64, sim::TimePoint>> fwd_log_;  // insertion order/time
   std::unordered_map<u64, sim::Mailbox<Message>*> pending_resp_;
   // Requests this kernel completed (response consumed); late duplicate
-  // responses to them are counted, not warned about.
+  // responses to them are counted, not warned about. Bounded by the same
+  // cap/TTL policy as the dedup cache.
   std::unordered_map<u64, u8> completed_reqs_;
-  std::deque<u64> completed_fifo_;
-  // Served-response cache for duplicate-request suppression.
-  std::unordered_map<u64, Message> dedup_;
-  std::deque<u64> dedup_fifo_;
+  std::deque<std::pair<u64, sim::TimePoint>> completed_log_;
+  // Served-response cache for duplicate-request suppression: LRU order in
+  // dedup_lru_ (front = least recently touched), idle TTL per entry.
+  struct DedupEntry {
+    Message resp;
+    sim::TimePoint touched;
+    std::list<u64>::iterator pos;
+  };
+  std::unordered_map<u64, DedupEntry> dedup_;
+  std::list<u64> dedup_lru_;
   sim::Event registered_;
 
   // Local exports (this enclave's processes) keyed by segid.
@@ -457,6 +638,15 @@ class XememKernel {
   sim::TimePoint promote_time_{0};
   sim::TimePoint ns_recovery_until_{0};
   u64 crash_after_ns_requests_{0};
+
+  // ------------------------------------------- sharded name service state
+  // Replicas this enclave hosts, keyed by shard. Never erased (crash()
+  // included): suspended quorum/vote coroutines hold ShardReplica*.
+  std::unordered_map<u32, std::unique_ptr<ShardReplica>> shard_replicas_;
+  // Client-side believed shard epochs (index = shard; boot epoch 1).
+  std::vector<u64> shard_epoch_;
+  u64 shard_rr_{0};  // round-robin spreader for unnamed exports
+  u64 crash_after_shard_requests_{0};
 };
 
 }  // namespace xemem

@@ -58,6 +58,36 @@ class Node {
     return faulty_;
   }
 
+  /// Partition surgery (requires enable_fault_injection): kill both
+  /// directions of the link between enclaves @p a and @p b, so each side
+  /// sends into the void. Asserts that such a link exists.
+  void sever(const std::string& a, const std::string& b) {
+    FaultyLink* l = find_link(a, b);
+    XEMEM_ASSERT_MSG(l != nullptr, "sever: no faulty link between enclaves");
+    l->ea->kill();
+    l->eb->kill();
+  }
+
+  /// Undo a sever: both directions deliver again.
+  void heal(const std::string& a, const std::string& b) {
+    FaultyLink* l = find_link(a, b);
+    XEMEM_ASSERT_MSG(l != nullptr, "heal: no faulty link between enclaves");
+    l->ea->revive();
+    l->eb->revive();
+  }
+
+  /// Find the kernel holding runtime enclave id @p eid (ids are allocated
+  /// by the name service at registration, so tests cannot know the mapping
+  /// statically). Null when no registered kernel holds it.
+  XememKernel* kernel_with_id(u64 eid) {
+    for (auto& e : entries_) {
+      if (e->kernel->id().valid() && e->kernel->id().value() == eid) {
+        return e->kernel.get();
+      }
+    }
+    return nullptr;
+  }
+
   /// The Linux management enclave; hosts the name server (the common
   /// deployment the paper uses throughout its evaluation). Must be added
   /// first. @p service_core_id is where its XEMEM/channel handling runs —
@@ -98,7 +128,8 @@ class Node {
     auto& ck = *booted.value().enclave;
     auto& kernel = register_external_enclave(name, ck, Personality::kitten);
     auto [mgmt_ep, ck_ep] =
-        maybe_faulty(booted.value().mgmt_endpoint, booted.value().cokernel_endpoint);
+        maybe_faulty(booted.value().mgmt_endpoint,
+                     booted.value().cokernel_endpoint, mgmt_->name(), name);
     kernel_of(mgmt_).add_channel(mgmt_ep);
     kernel.add_channel(ck_ep);
     return kernel;
@@ -134,7 +165,8 @@ class Node {
                                     Personality::guest_linux, /*is_ns=*/false,
                                     host.enclave);
     auto chan = palacios::make_pci_channel(host.enclave->service_core(), vcpu0);
-    auto [host_ep, guest_ep] = maybe_faulty(chan.a.get(), chan.b.get());
+    auto [host_ep, guest_ep] =
+        maybe_faulty(chan.a.get(), chan.b.get(), host_name, name);
     host.kernel->add_channel(host_ep);
     kernel.add_channel(guest_ep);
     channels_.push_back(std::move(chan));
@@ -150,7 +182,7 @@ class Node {
     Entry& eb = entry(b);
     auto chan = pisces::make_ipi_channel(ea.enclave->service_core(),
                                          eb.enclave->service_core());
-    auto [a_ep, b_ep] = maybe_faulty(chan.a.get(), chan.b.get());
+    auto [a_ep, b_ep] = maybe_faulty(chan.a.get(), chan.b.get(), a, b);
     ea.kernel->add_channel(a_ep);
     eb.kernel->add_channel(b_ep);
     channels_.push_back(std::move(chan));
@@ -225,12 +257,16 @@ class Node {
 
   /// Wrap a channel's endpoints in fault injectors when enabled; returns
   /// the endpoints the kernels should register (inner ones otherwise).
-  std::pair<ChannelEndpoint*, ChannelEndpoint*> maybe_faulty(ChannelEndpoint* a,
-                                                             ChannelEndpoint* b) {
+  /// The enclave names label the link for sever()/heal().
+  std::pair<ChannelEndpoint*, ChannelEndpoint*> maybe_faulty(
+      ChannelEndpoint* a, ChannelEndpoint* b, const std::string& a_name = "",
+      const std::string& b_name = "") {
     if (!faults_on_) return {a, b};
     auto pair = wrap_faulty(a, b, fault_spec_, fault_rng_);
     ChannelEndpoint* fa = pair.a.get();
     ChannelEndpoint* fb = pair.b.get();
+    faulty_links_.push_back(
+        FaultyLink{a_name, b_name, pair.a.get(), pair.b.get()});
     faulty_.push_back(std::move(pair.a));
     faulty_.push_back(std::move(pair.b));
     return {fa, fb};
@@ -291,11 +327,28 @@ class Node {
   std::vector<std::unique_ptr<palacios::PalaciosVm>> vms_;
   std::vector<ChannelPair> channels_;
 
+  /// A fault-wrapped link labeled by the enclave names it connects, so
+  /// tests can sever()/heal() by topology instead of creation order.
+  struct FaultyLink {
+    std::string a;
+    std::string b;
+    FaultyEndpoint* ea;
+    FaultyEndpoint* eb;
+  };
+
+  FaultyLink* find_link(const std::string& a, const std::string& b) {
+    for (auto& l : faulty_links_) {
+      if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return &l;
+    }
+    return nullptr;
+  }
+
   KernelConfig kcfg_{};
   FaultSpec fault_spec_{};
   Rng fault_rng_{1};
   bool faults_on_{false};
   std::vector<std::unique_ptr<FaultyEndpoint>> faulty_;
+  std::vector<FaultyLink> faulty_links_;
 };
 
 }  // namespace xemem

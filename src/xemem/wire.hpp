@@ -62,6 +62,21 @@ enum class Cmd : u8 {
   ns_announce,    ///< one-way flood: "epoch msg.epoch is live, NS is msg.src"
   reregister,     ///< survivor replays locally-owned exports to the new NS
   reregister_resp,
+
+  // Sharded name service (DESIGN.md §6c): the quorum-replication protocol
+  // among a shard's replica group, plus neighbor route learning.
+  shard_replicate,       ///< primary -> follower: append one op at msg.offset
+  shard_replicate_resp,
+  shard_sync,            ///< primary -> lagging follower: log suffix catch-up
+  shard_sync_resp,
+  shard_vote,            ///< candidate -> peer: promise epoch msg.shard_epoch?
+  shard_vote_resp,       ///< promise carries the voter's full op log
+  shard_probe,           ///< follower -> primary liveness probe
+  shard_probe_resp,
+  shard_announce,        ///< one-way: "shard msg.shard epoch msg.shard_epoch
+                         ///  is live, primary is msg.src"
+  hello,                 ///< one-way: "enclave msg.src is on this channel" —
+                         ///  neighbors learn direct routes at registration
 };
 
 const char* cmd_name(Cmd c);
@@ -77,6 +92,13 @@ struct Message {
   /// rejects older epochs with Errc::stale_epoch (retryable), and any node
   /// seeing a newer epoch adopts it and re-resolves its NS direction.
   u64 epoch{1};
+  /// Sharded name service (DESIGN.md §6c): registry shard this message is
+  /// bound for, and the per-shard epoch the sender believes is current.
+  /// shard_epoch == 0 marks classic (unsharded) traffic; replicas reject
+  /// older shard epochs with Errc::stale_epoch and rejections carry the
+  /// current one so clients re-resolve the shard's primary.
+  u32 shard{0};
+  u64 shard_epoch{0};
 
   Segid segid{};
   u64 offset{0};
@@ -120,6 +142,10 @@ struct Message {
       case Cmd::detach_resp:
       case Cmd::ns_probe_resp:
       case Cmd::reregister_resp:
+      case Cmd::shard_replicate_resp:
+      case Cmd::shard_sync_resp:
+      case Cmd::shard_vote_resp:
+      case Cmd::shard_probe_resp:
         return true;
       default:
         return false;
@@ -135,6 +161,8 @@ struct Message {
       case Cmd::enclave_shutdown:
       case Cmd::heartbeat:
       case Cmd::ns_announce:
+      case Cmd::shard_announce:
+      case Cmd::hello:
         return true;
       default:
         return false;
@@ -170,6 +198,16 @@ inline const char* cmd_name(Cmd c) {
     case Cmd::ns_announce: return "ns_announce";
     case Cmd::reregister: return "reregister";
     case Cmd::reregister_resp: return "reregister_resp";
+    case Cmd::shard_replicate: return "shard_replicate";
+    case Cmd::shard_replicate_resp: return "shard_replicate_resp";
+    case Cmd::shard_sync: return "shard_sync";
+    case Cmd::shard_sync_resp: return "shard_sync_resp";
+    case Cmd::shard_vote: return "shard_vote";
+    case Cmd::shard_vote_resp: return "shard_vote_resp";
+    case Cmd::shard_probe: return "shard_probe";
+    case Cmd::shard_probe_resp: return "shard_probe_resp";
+    case Cmd::shard_announce: return "shard_announce";
+    case Cmd::hello: return "hello";
   }
   return "?";
 }
@@ -179,11 +217,31 @@ inline const char* cmd_name(Cmd c) {
 /// reborn in a later epoch restarts its counter at 1 yet can never
 /// re-issue a segid still live from a prior epoch.
 constexpr u32 kSegidEpochShift = 48;
+constexpr u64 kSegidSeqMask = (1ull << kSegidEpochShift) - 1;
 
 constexpr u64 make_segid_value(u64 epoch, u64 seq) {
   return (epoch << kSegidEpochShift) | seq;
 }
 
 constexpr u64 segid_epoch(Segid s) { return s.value() >> kSegidEpochShift; }
+
+/// Sharded name service: a segid's home shard. The minting primary of
+/// shard s issues sequence numbers congruent to s (mod the shard count),
+/// so segid-keyed commands route back to the shard that minted them
+/// without any lookup.
+constexpr u32 shard_of_segid(Segid s, u32 nshards) {
+  return static_cast<u32>((s.value() & kSegidSeqMask) % nshards);
+}
+
+/// Well-known names hash to their shard (FNV-1a), so publish and search
+/// agree on the home shard without consulting any directory.
+inline u32 shard_of_name(const std::string& name, u32 nshards) {
+  u64 h = 14695981039346656037ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<u32>(h % nshards);
+}
 
 }  // namespace xemem
