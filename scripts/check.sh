@@ -59,6 +59,10 @@ if [[ $asan_only -eq 0 ]]; then
   echo "== sharded name-service churn-storm smoke =="
   ./build/bench/ablation_ns_shard --quick --json build/ns_shard.json
   cp build/ns_shard.json BENCH_ns_shard.json
+
+  echo "== capability revocation ablation smoke =="
+  ./build/bench/ablation_capability --quick --json build/capability.json
+  cp build/capability.json BENCH_capability.json
 fi
 
 if [[ $fast -eq 0 ]]; then
@@ -79,6 +83,10 @@ if [[ $fast -eq 0 ]]; then
   echo "== sharded name-service churn-storm smoke (asan) =="
   ./build-asan/bench/ablation_ns_shard --quick --json build-asan/ns_shard.json
   cp build-asan/ns_shard.json BENCH_ns_shard.json
+
+  echo "== capability revocation ablation smoke (asan) =="
+  ./build-asan/bench/ablation_capability --quick --json build-asan/capability.json
+  cp build-asan/capability.json BENCH_capability.json
 fi
 
 echo "all checks passed"

@@ -61,6 +61,11 @@ bool bootstrap_retryable(Errc e) {
     case Errc::not_primary:
     case Errc::no_quorum:
       return true;
+    // Capability model (DESIGN.md §9): revocation is terminal by design —
+    // a revoked control segment never comes back under the same cap, so
+    // retrying would spin until the deadline for a determined outcome.
+    case Errc::revoked:
+      return false;
     default:
       return false;
   }

@@ -1,14 +1,95 @@
-// Streaming and exact statistics used by the benchmark harnesses.
+// Streaming and exact statistics used by the benchmark harnesses, plus the
+// bounded accounting map the kernel uses for per-key bookkeeping that must
+// not grow with workload size.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
 
 namespace xemem {
+
+/// Bounded per-key accounting: an unordered_map with FIFO eviction once it
+/// holds more than `cap` keys. The kernel uses it for per-segment capability
+/// accounting (and revocation tombstones) where the key space is unbounded
+/// over a long run but only recent keys matter — memory stays O(cap)
+/// regardless of how many segments ever existed. Eviction drops whole
+/// entries; `evictions()` exposes how much history was shed so tests can
+/// assert the bound actually engaged.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class BoundedAccountingMap {
+ public:
+  explicit BoundedAccountingMap(u64 cap = 1024) : cap_(cap < 1 ? 1 : cap) {}
+
+  void set_cap(u64 cap) {
+    cap_ = cap < 1 ? 1 : cap;
+    shrink();
+  }
+  u64 cap() const { return cap_; }
+
+  /// Value for @p k, inserting (and possibly evicting the oldest key) if
+  /// absent. Reference stays valid until the next touch()/erase().
+  V& touch(const K& k) {
+    auto it = map_.find(k);
+    if (it != map_.end()) return it->second;
+    fifo_.push_back(k);
+    map_[k];
+    shrink();
+    // cap_ >= 1 and the new key sits at the fifo back, so shrink() cannot
+    // have evicted it — unless an older duplicate fifo entry for the same
+    // key (erase + re-touch) was popped as victim. Reinsert in that case.
+    return map_[k];
+  }
+
+  const V* find(const K& k) const {
+    auto it = map_.find(k);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  V* find(const K& k) {
+    auto it = map_.find(k);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  bool contains(const K& k) const { return map_.count(k) != 0; }
+
+  void erase(const K& k) { map_.erase(k); }  // fifo entry lazily skipped
+
+  u64 size() const { return map_.size(); }
+  u64 evictions() const { return evictions_; }
+  void clear() {
+    map_.clear();
+    fifo_.clear();
+  }
+
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  void shrink() {
+    while (map_.size() > cap_ && !fifo_.empty()) {
+      const K victim = fifo_.front();
+      fifo_.pop_front();
+      if (map_.erase(victim) != 0) ++evictions_;
+    }
+    // Drop stale fifo heads left by erase() so the queue cannot outgrow
+    // the map by more than the erased keys.
+    while (fifo_.size() > 2 * cap_ + 2) {
+      const K head = fifo_.front();
+      fifo_.pop_front();
+      if (map_.count(head) != 0) fifo_.push_back(head);
+    }
+  }
+
+  u64 cap_;
+  u64 evictions_{0};
+  std::unordered_map<K, V, Hash> map_;
+  std::deque<K> fifo_;
+};
 
 /// Welford streaming mean/variance — O(1) memory, numerically stable.
 /// Used where the harness only needs mean ± stddev (e.g. the error bars in

@@ -33,6 +33,7 @@ enum class Errc {
   retry_later,        ///< transient (e.g. registry rebuilding); retry
   not_primary,        ///< shard write sent to a follower; retry elsewhere
   no_quorum,          ///< terminal: shard lost its majority past the grace
+  revoked,            ///< terminal: capability (or an ancestor) was revoked
 };
 
 /// Human-readable name for an error code.
@@ -101,6 +102,7 @@ inline const char* errc_name(Errc e) {
     case Errc::retry_later: return "retry_later";
     case Errc::not_primary: return "not_primary";
     case Errc::no_quorum: return "no_quorum";
+    case Errc::revoked: return "revoked";
   }
   return "unknown";
 }

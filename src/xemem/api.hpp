@@ -30,8 +30,34 @@ struct XpmemGrant {
   Segid segid{};
   u64 size{0};
   AccessMode mode{AccessMode::read_write};
+  u64 cap{0};  ///< capability the grant was issued under (0 = classic permit)
 
   bool valid() const { return segid.valid(); }
+};
+
+/// Rights carried by a capability (Elasticlave/Zeno model). Every field can
+/// only be narrowed on derivation — the owner capability minted by
+/// xpmem_make holds the widest rights the export allows.
+struct CapRights {
+  AccessMode access{AccessMode::read_write};
+  u64 attach_limit{0};  ///< max concurrent owner-served attaches (0 = unlimited)
+  u64 window_off{0};    ///< absolute byte offset of the accessible window
+  u64 window_size{0};   ///< window length in bytes (0 = to end of segment)
+  bool transferable{true};  ///< usable by enclaves other than the holder
+  bool derivable{true};     ///< may mint further-restricted children
+};
+
+/// An unforgeable (by convention — ids are sparse in a 64-bit space)
+/// reference to a segment plus the rights to use it. The owner mints the
+/// root via xpmem_make when capabilities are enabled; cap_derive mints
+/// restricted children. `rights` is a client-side snapshot for display;
+/// the owner's derivation tree is authoritative on every get/attach.
+struct Capability {
+  Segid segid{};
+  u64 id{0};
+  CapRights rights{};
+
+  bool valid() const { return segid.valid() && id != 0; }
 };
 
 /// A live attachment returned by xpmem_attach.

@@ -32,6 +32,8 @@ Cmd response_cmd(Cmd c) {
     case Cmd::shard_sync: return Cmd::shard_sync_resp;
     case Cmd::shard_vote: return Cmd::shard_vote_resp;
     case Cmd::shard_probe: return Cmd::shard_probe_resp;
+    case Cmd::cap_derive: return Cmd::cap_derive_resp;
+    case Cmd::cap_revoke: return Cmd::cap_revoke_resp;
     default: return c;
   }
 }
@@ -49,11 +51,20 @@ bool XememKernel::is_shard_client_cmd(Cmd c) {
     case Cmd::attach:
     case Cmd::detach:
     case Cmd::release:
+    case Cmd::cap_derive:
+    case Cmd::cap_revoke:
     case Cmd::heartbeat:
       return true;
     default:
       return false;
   }
+}
+
+// Capability-protocol commands served by the segment's owner enclave; they
+// route exactly like get/attach (name server or home shard resolves the
+// owner, then forwards).
+bool XememKernel::is_cap_cmd(Cmd c) {
+  return c == Cmd::cap_derive || c == Cmd::cap_revoke;
 }
 
 bool XememKernel::is_shard_service_cmd(Cmd c) {
@@ -162,6 +173,13 @@ XememKernel::XememKernel(os::Enclave& os, bool is_name_server, KernelConfig cfg)
     }
     shard_epoch_.assign(cfg_.ns_shards.size(), 1);
   }
+  if (cfg_.capabilities) {
+    if (cfg_.cap_table_cap == 0) cfg_.cap_table_cap = 256;
+    if (cfg_.cap_accounting_cap == 0) cfg_.cap_accounting_cap = 1024;
+    revoked_caps_.set_cap(cfg_.cap_accounting_cap);
+    revoked_handles_.set_cap(cfg_.cap_accounting_cap);
+    cap_accounting_.set_cap(cfg_.cap_accounting_cap);
+  }
 }
 
 void XememKernel::add_channel(ChannelEndpoint* ep) {
@@ -221,6 +239,13 @@ void XememKernel::crash() {
   owner_cache_.clear();
   owner_fifo_.clear();
   attach_cache_.clear();
+  // Capability state dies with the kernel: derivation trees describe
+  // exports that no longer exist, and the attacher-side mapping records
+  // point into an OS being reclaimed.
+  cap_trees_.clear();
+  cap_maps_.clear();
+  revoked_caps_.clear();
+  revoked_handles_.clear();
   // A dying name server takes its registry with it; survivors hold the
   // durable truth (their own exports) and replay it to a promoted standby.
   ns_segids_.clear();
@@ -921,12 +946,14 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
     }
     switch (msg.cmd) {
       case Cmd::get: {
+        if (cap_crashpoint(msg)) co_return;
         Message resp = co_await serve_get(msg);
         dedup_store(msg.req_id, resp);
         co_await route_response(std::move(resp), from);
         co_return;
       }
       case Cmd::attach: {
+        if (cap_crashpoint(msg)) co_return;
         Message resp = co_await serve_attach(msg);
         dedup_store(msg.req_id, resp);
         co_await route_response(std::move(resp), from);
@@ -937,6 +964,24 @@ sim::Task<void> XememKernel::handle(Message msg, ChannelEndpoint* from) {
         dedup_store(msg.req_id, resp);
         co_await route_response(std::move(resp), from);
         co_return;
+      }
+      case Cmd::cap_derive: {
+        if (cap_crashpoint(msg)) co_return;
+        Message resp = co_await serve_cap_derive(msg);
+        dedup_store(msg.req_id, resp);
+        co_await route_response(std::move(resp), from);
+        co_return;
+      }
+      case Cmd::cap_revoke: {
+        if (cap_crashpoint(msg)) co_return;
+        Message resp = co_await serve_cap_revoke(msg);
+        dedup_store(msg.req_id, resp);
+        co_await route_response(std::move(resp), from);
+        co_return;
+      }
+      case Cmd::cap_revoked: {
+        co_await apply_cap_revoked(std::move(msg));
+        co_return;  // one-way
       }
       case Cmd::release: {
         dedup_store(msg.req_id, Message{});  // marker: suppress replays
@@ -1214,6 +1259,8 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
     case Cmd::get:
     case Cmd::attach:
     case Cmd::detach:
+    case Cmd::cap_derive:
+    case Cmd::cap_revoke:
     case Cmd::release: {
       // Forward to the owning enclave (paper section 4.2: "the name
       // server, which maps segids to enclaves, forwards the command to
@@ -1237,11 +1284,14 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
       if (owner == id()) {
         // This name server's own enclave owns the segid (the boot NS has
         // id 0; a promoted standby keeps its own id): serve directly.
+        if (cap_crashpoint(msg)) co_return;
         Message resp2;
         switch (msg.cmd) {
           case Cmd::get: resp2 = co_await serve_get(msg); break;
           case Cmd::attach: resp2 = co_await serve_attach(msg); break;
           case Cmd::detach: resp2 = co_await serve_detach(msg); break;
+          case Cmd::cap_derive: resp2 = co_await serve_cap_derive(msg); break;
+          case Cmd::cap_revoke: resp2 = co_await serve_cap_revoke(msg); break;
           default: {
             dedup_store(msg.req_id, Message{});  // one-way release marker
             auto ex = exports_.find(msg.segid.value());
@@ -1257,6 +1307,12 @@ sim::Task<void> XememKernel::ns_handle(Message msg, ChannelEndpoint* from) {
       co_await forward(std::move(msg), from);
       co_return;
     }
+    case Cmd::cap_revoked:
+      // The name server's own enclave held attachments under a revoked
+      // subtree: the owner's fan-out addresses it as dst 0 like every
+      // other NS-bound message. Apply the teardown locally.
+      co_await apply_cap_revoked(std::move(msg));
+      co_return;
     default:
       XLOG_WARN("xemem", "name server: unexpected %s", cmd_name(msg.cmd));
       co_return;
@@ -1278,6 +1334,18 @@ sim::Task<Message> XememKernel::serve_get(const Message& msg) {
     co_return resp;
   }
   const auto want = static_cast<AccessMode>(msg.access);
+  CapNode* node = nullptr;
+  if (cfg_.capabilities) {
+    // Server-side capability validation: the presented cap id (0 resolves
+    // to the root unless the export demands explicit caps) must be live,
+    // usable by this presenter, and at least as strong as the wanted mode.
+    const Errc ce =
+        cap_check(msg.segid.value(), msg.cap, msg.src, want, 0, 0, false, &node);
+    if (ce != Errc::ok) {
+      resp.status = ce;
+      co_return resp;
+    }
+  }
   if (want == AccessMode::read_write &&
       it->second.max_access == AccessMode::read_only) {
     resp.status = Errc::permission_denied;
@@ -1288,6 +1356,7 @@ sim::Task<Message> XememKernel::serve_get(const Message& msg) {
   resp.segid = msg.segid;
   resp.size = it->second.pages * kPageSize;
   resp.access = msg.access;
+  if (node != nullptr) resp.cap = node->id;
   co_return resp;
 }
 
@@ -1310,6 +1379,22 @@ sim::Task<Message> XememKernel::serve_attach(const Message& msg) {
       (msg.offset >> kPageShift) + pages > rec.pages || pages == 0) {
     resp.status = Errc::invalid_argument;
     co_return resp;
+  }
+
+  // Rights check BEFORE any cache can answer: a memoized walk or warm
+  // route must never let a weaker capability holder bypass the window,
+  // access-mode, or attach-limit validation (the fast path is a cache of
+  // frames, not of authorization).
+  CapNode* node = nullptr;
+  if (cfg_.capabilities) {
+    const Errc ce =
+        cap_check(msg.segid.value(), msg.cap, msg.src,
+                  static_cast<AccessMode>(msg.access), msg.offset, msg.size,
+                  true, &node);
+    if (ce != Errc::ok) {
+      resp.status = ce;
+      co_return resp;
+    }
   }
 
   mm::PfnList frames;
@@ -1349,7 +1434,16 @@ sim::Task<Message> XememKernel::serve_attach(const Message& msg) {
   resp.offset = handle;  // owner-side pin handle, echoed back on detach
   resp.size = msg.size;
   encode_pfn_payload(resp, frames);
-  pins_.emplace(handle, PinRecord{msg.segid, std::move(frames)});
+  u64 capid = 0;
+  if (node != nullptr) {
+    // Charge the attach to its capability so cap_revoke can find and tear
+    // down exactly the attachments minted under the revoked subtree.
+    capid = node->id;
+    ++node->live_attaches;
+    ++cap_acct(msg.segid.value()).live_attaches;
+    resp.cap = capid;
+  }
+  pins_.emplace(handle, PinRecord{msg.segid, std::move(frames), capid, msg.src});
   co_return resp;
 }
 
@@ -1363,8 +1457,26 @@ sim::Task<Message> XememKernel::serve_detach(const Message& msg) {
 
   auto pin = pins_.find(msg.offset);  // offset carries the owner handle
   if (pin == pins_.end() || pin->second.segid != msg.segid) {
-    resp.status = Errc::not_attached;
+    // A detach of a handle that revocation already swept answers with the
+    // terminal status, not not_attached: the attacher learns its mapping
+    // died under it and tears down cleanly.
+    resp.status = cfg_.capabilities && handle_revoked(msg.segid.value(), msg.offset)
+                      ? Errc::revoked
+                      : Errc::not_attached;
     co_return resp;
+  }
+  if (cfg_.capabilities && pin->second.cap != 0) {
+    auto t = cap_trees_.find(msg.segid.value());
+    if (t != cap_trees_.end()) {
+      auto n = t->second.nodes.find(pin->second.cap);
+      if (n != t->second.nodes.end() && n->second.live_attaches > 0) {
+        --n->second.live_attaches;
+      }
+    }
+    if (auto* a = cap_accounting_.find(msg.segid.value());
+        a != nullptr && a->live_attaches > 0) {
+      --a->live_attaches;
+    }
   }
   unpin_frames(pin->second.frames.extents());
   pins_.erase(pin);
@@ -1375,6 +1487,452 @@ sim::Task<Message> XememKernel::serve_detach(const Message& msg) {
   }
   resp.status = Errc::ok;
   co_return resp;
+}
+
+// --------------------------------------------- capability model (§9)
+
+namespace {
+
+// cap_derive rights wire codec: 6 u64s in the request payload, 5 echoed in
+// the response (the holder binding is server state, not a right).
+void encode_cap_rights(const CapRights& r, u64 holder, std::vector<u64>* out) {
+  out->push_back(static_cast<u64>(r.access));
+  out->push_back(r.attach_limit);
+  out->push_back(r.window_off);
+  out->push_back(r.window_size);
+  out->push_back((r.transferable ? 1u : 0u) | (r.derivable ? 2u : 0u));
+  out->push_back(holder);
+}
+
+CapRights decode_cap_rights(const std::vector<u64>& p) {
+  CapRights r;
+  if (p.size() < 5) return r;
+  r.access = static_cast<AccessMode>(p[0]);
+  r.attach_limit = p[1];
+  r.window_off = p[2];
+  r.window_size = p[3];
+  r.transferable = (p[4] & 1u) != 0;
+  r.derivable = (p[4] & 2u) != 0;
+  return r;
+}
+
+}  // namespace
+
+u64 XememKernel::mint_cap_id(CapTree& tree) {
+  // splitmix64 over a per-kernel counter salted with the enclave id:
+  // deterministic per seed (the crashpoint-sweep tests depend on it), yet
+  // sparse in 64 bits — unforgeable by convention, like real XPMEM segids.
+  for (;;) {
+    u64 z = (next_cap_seq_++ + (id().value() << 32)) + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    if (z != 0 && !tree.nodes.contains(z)) return z;
+  }
+}
+
+XememKernel::SegAccounting& XememKernel::cap_acct(u64 segid) {
+  return cap_accounting_.touch(segid);
+}
+
+void XememKernel::tombstone_cap(u64 cap_id) {
+  if (cap_id != 0) revoked_caps_.touch(cap_id) = 1;
+}
+
+void XememKernel::tombstone_handle(u64 segid, u64 handle) {
+  revoked_handles_.touch({segid, handle}) = 1;
+}
+
+bool XememKernel::cap_crashpoint(const Message& msg) {
+  if (crash_after_cap_requests_ == 0 || !cfg_.capabilities) return false;
+  // Only capability-relevant owner-side commands advance the countdown:
+  // derive/revoke always, get/attach only when they present a capability.
+  const bool relevant =
+      is_cap_cmd(msg.cmd) ||
+      ((msg.cmd == Cmd::get || msg.cmd == Cmd::attach) && msg.cap != 0);
+  if (!relevant) return false;
+  if (++cap_requests_seen_ >= crash_after_cap_requests_) {
+    crash();
+    return true;
+  }
+  return false;
+}
+
+Errc XememKernel::cap_check(u64 segid, u64 cap_id, EnclaveId presenter,
+                            AccessMode want, u64 offset, u64 size,
+                            bool attaching, CapNode** out) {
+  if (out != nullptr) *out = nullptr;
+  if (!cfg_.capabilities) return Errc::ok;
+  auto deny = [&](Errc e) {
+    ++stats_.cap_denials;
+    ++cap_acct(segid).denials;
+    return e;
+  };
+  auto tree_it = cap_trees_.find(segid);
+  if (tree_it == cap_trees_.end()) return Errc::ok;  // pre-capability export
+  CapTree& tree = tree_it->second;
+  u64 resolved = cap_id;
+  if (resolved == 0) {
+    // Capless (classic permit) access rides the root capability, so legacy
+    // tenants keep working — and revoking the root cuts them off too.
+    if (tree.require_cap) return deny(Errc::permission_denied);
+    resolved = tree.root;
+  }
+  auto node_it = tree.nodes.find(resolved);
+  if (node_it == tree.nodes.end()) return deny(Errc::permission_denied);
+  CapNode& node = node_it->second;
+  if (node.revoked) return deny(Errc::revoked);
+  if (!node.rights.transferable && node.holder != 0 &&
+      presenter.value() != node.holder) {
+    return deny(Errc::permission_denied);
+  }
+  if (want == AccessMode::read_write &&
+      node.rights.access == AccessMode::read_only) {
+    return deny(Errc::permission_denied);
+  }
+  if (attaching) {
+    const auto ex = exports_.find(segid);
+    const u64 seg_bytes =
+        ex != exports_.end() ? ex->second.pages * kPageSize : 0;
+    const u64 wend = node.rights.window_size != 0
+                         ? node.rights.window_off + node.rights.window_size
+                         : seg_bytes;
+    if (offset < node.rights.window_off || offset + size > wend) {
+      return deny(Errc::permission_denied);
+    }
+    if (node.rights.attach_limit != 0 &&
+        node.live_attaches >= node.rights.attach_limit) {
+      return deny(Errc::permission_denied);
+    }
+  }
+  if (out != nullptr) *out = &node;
+  return Errc::ok;
+}
+
+Result<Capability> XememKernel::cap_derive_local(u64 segid, u64 parent_id,
+                                                 EnclaveId presenter,
+                                                 CapRights rights, u64 holder) {
+  auto deny = [&](Errc e) {
+    ++stats_.cap_denials;
+    ++cap_acct(segid).denials;
+    return Result<Capability>{e};
+  };
+  auto tree_it = cap_trees_.find(segid);
+  if (tree_it == cap_trees_.end()) return Errc::no_such_segid;
+  CapTree& tree = tree_it->second;
+  const u64 pid = parent_id != 0 ? parent_id : tree.root;
+  auto pit = tree.nodes.find(pid);
+  if (pit == tree.nodes.end()) return deny(Errc::permission_denied);
+  CapNode& parent = pit->second;  // unordered_map references survive insert
+  if (parent.revoked) return deny(Errc::revoked);
+  if (!parent.rights.derivable) return deny(Errc::permission_denied);
+  if (!parent.rights.transferable && parent.holder != 0 &&
+      presenter.value() != parent.holder) {
+    return deny(Errc::permission_denied);
+  }
+
+  // The rights lattice only narrows on derivation; any widening attempt is
+  // an escalation and is denied (and accounted).
+  if (parent.rights.access == AccessMode::read_only &&
+      rights.access == AccessMode::read_write) {
+    return deny(Errc::permission_denied);
+  }
+  const auto ex = exports_.find(segid);
+  const u64 seg_bytes = ex != exports_.end() ? ex->second.pages * kPageSize : 0;
+  const u64 parent_end = parent.rights.window_size != 0
+                             ? parent.rights.window_off + parent.rights.window_size
+                             : seg_bytes;
+  const u64 child_end = rights.window_size != 0
+                            ? rights.window_off + rights.window_size
+                            : seg_bytes;
+  if (rights.window_off < parent.rights.window_off || child_end > parent_end ||
+      rights.window_off > child_end) {
+    return deny(Errc::permission_denied);
+  }
+  if (parent.rights.attach_limit != 0 &&
+      (rights.attach_limit == 0 ||
+       rights.attach_limit > parent.rights.attach_limit)) {
+    return deny(Errc::permission_denied);
+  }
+  if (!parent.rights.transferable && rights.transferable) {
+    return deny(Errc::permission_denied);
+  }
+
+  if (tree.nodes.size() >= cfg_.cap_table_cap) return Errc::out_of_memory;
+  const u64 cid = mint_cap_id(tree);
+  // A non-transferable child with no explicit holder binds to whoever
+  // derived it.
+  if (!rights.transferable && holder == 0) holder = presenter.value();
+  CapNode child;
+  child.id = cid;
+  child.parent = pid;
+  child.rights = rights;
+  child.holder = holder;
+  tree.nodes.emplace(cid, std::move(child));
+  parent.children.push_back(cid);
+  ++stats_.caps_derived;
+  ++cap_acct(segid).derived_caps;
+  return Capability{Segid{segid}, cid, rights};
+}
+
+Result<Capability> XememKernel::cap_root(Segid segid) const {
+  if (!cfg_.capabilities) return Errc::invalid_argument;
+  auto it = cap_trees_.find(segid.value());
+  if (it == cap_trees_.end()) return Errc::no_such_segid;
+  const CapNode& root = it->second.nodes.at(it->second.root);
+  if (root.revoked) return Errc::revoked;
+  return Capability{segid, root.id, root.rights};
+}
+
+Result<void> XememKernel::cap_require(os::Process& owner, Segid segid) {
+  if (!cfg_.capabilities) return Errc::invalid_argument;
+  auto ex = exports_.find(segid.value());
+  if (ex == exports_.end()) return Errc::no_such_segid;
+  if (ex->second.proc != &owner) return Errc::permission_denied;
+  auto it = cap_trees_.find(segid.value());
+  if (it == cap_trees_.end()) return Errc::no_such_segid;
+  it->second.require_cap = true;
+  return Result<void>{};
+}
+
+XememKernel::SegAccounting XememKernel::cap_accounting(Segid segid) const {
+  const auto* a = cap_accounting_.find(segid.value());
+  return a != nullptr ? *a : SegAccounting{};
+}
+
+u64 XememKernel::cap_count(Segid segid) const {
+  auto it = cap_trees_.find(segid.value());
+  if (it == cap_trees_.end()) return 0;
+  u64 n = 0;
+  for (const auto& [cid, node] : it->second.nodes) {
+    if (!node.revoked) ++n;
+  }
+  return n;
+}
+
+sim::Task<Result<Capability>> XememKernel::cap_derive(const Capability& parent,
+                                                      CapRights rights,
+                                                      u64 holder) {
+  if (!cfg_.capabilities || !parent.valid()) co_return Errc::invalid_argument;
+  if (revoked_caps_.contains(parent.id)) co_return Errc::revoked;
+  if (exports_.contains(parent.segid.value())) {
+    co_return cap_derive_local(parent.segid.value(), parent.id, id(), rights,
+                               holder);
+  }
+  Message req;
+  req.cmd = Cmd::cap_derive;
+  req.dst = EnclaveId{0};
+  req.segid = parent.segid;
+  req.cap = parent.id;
+  encode_cap_rights(rights, holder, &req.payload);
+  auto resp = co_await request_to_owner(std::move(req));
+  if (!resp.ok()) co_return resp.error();
+  Message& r = resp.value();
+  if (r.status == Errc::revoked) tombstone_cap(parent.id);
+  if (r.status != Errc::ok) co_return r.status;
+  co_return Capability{parent.segid, r.cap, decode_cap_rights(r.payload)};
+}
+
+sim::Task<Result<void>> XememKernel::cap_revoke(const Capability& cap) {
+  if (!cfg_.capabilities || !cap.valid()) co_return Errc::invalid_argument;
+  if (exports_.contains(cap.segid.value())) {
+    // Owner-local revoke: run the same server core directly (it unmaps
+    // local attachments inline and fans out to remote attachers).
+    Message fake;
+    fake.segid = cap.segid;
+    fake.cap = cap.id;
+    fake.src = id();
+    Message resp = co_await serve_cap_revoke(fake);
+    tombstone_cap(cap.id);
+    co_return resp.status == Errc::ok ? Result<void>{}
+                                      : Result<void>{resp.status};
+  }
+  if (revoked_caps_.contains(cap.id)) co_return Result<void>{};  // idempotent
+  Message req;
+  req.cmd = Cmd::cap_revoke;
+  req.dst = EnclaveId{0};
+  req.segid = cap.segid;
+  req.cap = cap.id;
+  auto resp = co_await request_to_owner(std::move(req));
+  if (!resp.ok()) co_return resp.error();
+  if (resp.value().status == Errc::ok) tombstone_cap(cap.id);
+  co_return resp.value().status == Errc::ok
+      ? Result<void>{}
+      : Result<void>{resp.value().status};
+}
+
+sim::Task<Message> XememKernel::serve_cap_derive(const Message& msg) {
+  Message resp;
+  resp.cmd = Cmd::cap_derive_resp;
+  resp.req_id = msg.req_id;
+  resp.src = id();
+  resp.dst = msg.src;
+  resp.epoch = ns_epoch_;
+  if (!cfg_.capabilities || msg.payload.size() < 6) {
+    resp.status = Errc::invalid_argument;
+    co_return resp;
+  }
+  co_await os_.service_core()->run_irq(costs::kNameServerOp);
+  const CapRights rights = decode_cap_rights(msg.payload);
+  const u64 holder = msg.payload[5];
+  auto derived = cap_derive_local(msg.segid.value(), msg.cap, msg.src, rights,
+                                  holder);
+  if (!derived.ok()) {
+    resp.status = derived.error();
+    co_return resp;
+  }
+  resp.status = Errc::ok;
+  resp.segid = msg.segid;
+  resp.cap = derived.value().id;
+  encode_cap_rights(derived.value().rights, 0, &resp.payload);
+  resp.payload.pop_back();  // holder binding is server state, not a right
+  co_return resp;
+}
+
+sim::Task<Message> XememKernel::serve_cap_revoke(const Message& msg) {
+  Message resp;
+  resp.cmd = Cmd::cap_revoke_resp;
+  resp.req_id = msg.req_id;
+  resp.src = id();
+  resp.dst = msg.src;
+  resp.epoch = ns_epoch_;
+  if (!cfg_.capabilities) {
+    resp.status = Errc::invalid_argument;
+    co_return resp;
+  }
+  auto tree_it = cap_trees_.find(msg.segid.value());
+  if (tree_it == cap_trees_.end()) {
+    resp.status = Errc::no_such_segid;
+    co_return resp;
+  }
+  CapTree& tree = tree_it->second;
+  auto node_it = tree.nodes.find(msg.cap);
+  if (node_it == tree.nodes.end()) {
+    resp.status = Errc::invalid_argument;
+    co_return resp;
+  }
+  if (node_it->second.revoked) {
+    resp.status = Errc::ok;  // idempotent: a retried revoke re-succeeds
+    co_return resp;
+  }
+
+  // Walk the derivation subtree, marking every node revoked. Possession of
+  // the cap id is the revoke authority (capability model: whoever can name
+  // it can kill it) — typically the owner or the holder itself.
+  std::vector<u64> stack{msg.cap};
+  std::unordered_map<u64, u8> subtree;
+  while (!stack.empty()) {
+    const u64 cid = stack.back();
+    stack.pop_back();
+    auto it = tree.nodes.find(cid);
+    if (it == tree.nodes.end() || it->second.revoked) continue;
+    it->second.revoked = true;
+    subtree.emplace(cid, 1);
+    for (u64 ch : it->second.children) stack.push_back(ch);
+  }
+  ++stats_.revocations;
+  ++cap_acct(msg.segid.value()).revocations;
+
+  // Sweep every live attachment minted under the subtree: release the
+  // owner pin, tombstone the handle, and group the teardown work per
+  // attacher enclave for the one-way fan-out.
+  std::map<u64, std::vector<u64>> by_attacher;  // enclave -> handles
+  u64 unmaps = 0;
+  for (auto it = pins_.begin(); it != pins_.end();) {
+    PinRecord& pin = it->second;
+    if (pin.segid != msg.segid || pin.cap == 0 || !subtree.contains(pin.cap)) {
+      ++it;
+      continue;
+    }
+    unpin_frames(pin.frames.extents());
+    tombstone_handle(msg.segid.value(), it->first);
+    by_attacher[pin.attacher.value()].push_back(it->first);
+    auto ex = exports_.find(msg.segid.value());
+    if (ex != exports_.end() && ex->second.attachments > 0) {
+      --ex->second.attachments;
+    }
+    if (auto* a = cap_accounting_.find(msg.segid.value());
+        a != nullptr && a->live_attaches > 0) {
+      --a->live_attaches;
+    }
+    ++stats_.revoke_unmaps;
+    ++unmaps;
+    it = pins_.erase(it);
+  }
+  // Reuse the PR-3 invalidation plumbing: memoized walks for the segment
+  // are flushed (conservative — survivors re-walk), and our own route
+  // entry for it drops.
+  drop_walk_cache(msg.segid);
+  drop_owner_cache(msg.segid);
+
+  // Fan the revocation out. Remote attachers get a one-way cap_revoked
+  // carrying the dead cap ids and their handles; best-effort delivery —
+  // server-side validation is the backstop for anyone who missed it.
+  const std::vector<u64> dead_caps = [&] {
+    std::vector<u64> v;
+    v.reserve(subtree.size());
+    for (const auto& [cid, one] : subtree) v.push_back(cid);
+    std::sort(v.begin(), v.end());  // deterministic wire order
+    return v;
+  }();
+  for (auto& [enclave, handles] : by_attacher) {
+    if (enclave == id().value()) {
+      // Our own enclave held attachments (owner self-attach): tear the
+      // local mappings down inline.
+      for (u64 cid : dead_caps) tombstone_cap(cid);
+      for (u64 h : handles) co_await unmap_revoked_handle(msg.segid.value(), h);
+      continue;
+    }
+    Message note;
+    note.cmd = Cmd::cap_revoked;
+    note.src = id();
+    note.dst = EnclaveId{enclave};
+    note.req_id = g_req_counter++;
+    note.epoch = ns_epoch_;
+    note.segid = msg.segid;
+    note.cap = msg.cap;
+    note.size = dead_caps.size();  // payload = [caps...] ++ [handles...]
+    note.payload = dead_caps;
+    note.payload.insert(note.payload.end(), handles.begin(), handles.end());
+    ChannelEndpoint* via = route_for(note.dst);
+    if (via == nullptr) continue;  // unreachable: their next access learns
+    co_await via->send(std::move(note));
+  }
+
+  resp.status = Errc::ok;
+  resp.size = unmaps;
+  co_return resp;
+}
+
+sim::Task<void> XememKernel::apply_cap_revoked(Message msg) {
+  if (!cfg_.capabilities) co_return;
+  const u64 segid = msg.segid.value();
+  const u64 ncaps = std::min<u64>(msg.size, msg.payload.size());
+  for (u64 i = 0; i < ncaps; ++i) tombstone_cap(msg.payload[i]);
+  for (u64 i = ncaps; i < msg.payload.size(); ++i) {
+    const u64 handle = msg.payload[i];
+    tombstone_handle(segid, handle);
+    // Mapping-reuse drop: the shared owner pin is gone; nothing may be
+    // served from these frames again.
+    attach_cache_.erase({segid, handle});
+    co_await unmap_revoked_handle(segid, handle);
+  }
+  // Route-cache evict, same as every other invalidation path.
+  drop_owner_cache(msg.segid);
+}
+
+sim::Task<void> XememKernel::unmap_revoked_handle(u64 segid, u64 handle) {
+  auto it = cap_maps_.find({segid, handle});
+  if (it == cap_maps_.end()) co_return;
+  std::vector<CapMapRec> recs = std::move(it->second);
+  cap_maps_.erase(it);
+  for (auto& rec : recs) {
+    // Already-unmapped is fine (the application detached concurrently);
+    // any later load/store through the cleared PTEs surfaces as a graceful
+    // error from proc_read/proc_write, never a wild pointer.
+    auto r = co_await os_.unmap_attachment(*rec.proc, rec.map_base, rec.pages);
+    (void)r;
+  }
 }
 
 void XememKernel::pin_frames(const std::vector<hw::FrameExtent>& runs) {
@@ -1489,6 +2047,20 @@ sim::Task<Result<Segid>> XememKernel::xpmem_make(os::Process& owner, Vaddr va,
   exports_.emplace(sid.value(),
                    ExportRecord{&owner, va, pages, std::move(name), max_access});
   ++stats_.makes;
+  if (cfg_.capabilities) {
+    // Mint the owner capability: the widest rights the export allows (full
+    // window, unlimited attaches, transferable, derivable). Everything a
+    // peer gets is derived — and therefore revocable — from this root.
+    CapTree tree;
+    CapNode root;
+    root.id = mint_cap_id(tree);
+    root.rights = CapRights{max_access, 0, 0, 0, true, true};
+    tree.root = root.id;
+    tree.nodes.emplace(root.id, std::move(root));
+    cap_trees_[sid.value()] = std::move(tree);
+    ++stats_.caps_minted;
+    cap_acct(sid.value());  // reserve the accounting slot
+  }
   co_return sid;
 }
 
@@ -1523,6 +2095,7 @@ sim::Task<Result<void>> XememKernel::xpmem_remove(os::Process& owner, Segid segi
   // later attach must fail no_such_segid, not hand out freed frames).
   drop_walk_cache(segid);
   drop_owner_cache(segid);
+  cap_trees_.erase(segid.value());  // no attachments existed; tree retires
   co_return Result<void>{};
 }
 
@@ -1535,8 +2108,18 @@ sim::Task<Result<XpmemGrant>> XememKernel::xpmem_get(Segid segid, AccessMode wan
         it->second.max_access == AccessMode::read_only) {
       co_return Errc::permission_denied;
     }
+    u64 capid = 0;
+    if (cfg_.capabilities) {
+      // A capless local get rides the export's root capability (so classic
+      // tenants keep working); a revoked root denies even the owner path.
+      CapNode* node = nullptr;
+      const Errc ce =
+          cap_check(segid.value(), 0, id(), want, 0, 0, false, &node);
+      if (ce != Errc::ok) co_return ce;
+      capid = node->id;
+    }
     ++it->second.grants;
-    co_return XpmemGrant{segid, it->second.pages * kPageSize, want};
+    co_return XpmemGrant{segid, it->second.pages * kPageSize, want, capid};
   }
   Message req;
   req.cmd = Cmd::get;
@@ -1546,8 +2129,39 @@ sim::Task<Result<XpmemGrant>> XememKernel::xpmem_get(Segid segid, AccessMode wan
   auto resp = co_await request_to_owner(std::move(req));
   if (!resp.ok()) co_return resp.error();
   if (resp.value().status != Errc::ok) co_return resp.value().status;
+  // Under capabilities the owner resolved the capability this grant rides
+  // (the root, for a capless request) and echoed its id.
   co_return XpmemGrant{segid, resp.value().size,
-                       static_cast<AccessMode>(resp.value().access)};
+                       static_cast<AccessMode>(resp.value().access),
+                       resp.value().cap};
+}
+
+sim::Task<Result<XpmemGrant>> XememKernel::xpmem_get(const Capability& cap,
+                                                     AccessMode want) {
+  if (!cfg_.capabilities || !cap.valid()) co_return Errc::invalid_argument;
+  if (revoked_caps_.contains(cap.id)) co_return Errc::revoked;
+  auto it = exports_.find(cap.segid.value());
+  if (it != exports_.end()) {
+    CapNode* node = nullptr;
+    const Errc ce =
+        cap_check(cap.segid.value(), cap.id, id(), want, 0, 0, false, &node);
+    if (ce != Errc::ok) co_return ce;
+    ++it->second.grants;
+    co_return XpmemGrant{cap.segid, it->second.pages * kPageSize, want, node->id};
+  }
+  Message req;
+  req.cmd = Cmd::get;
+  req.dst = EnclaveId{0};
+  req.segid = cap.segid;
+  req.access = static_cast<u8>(want);
+  req.cap = cap.id;
+  auto resp = co_await request_to_owner(std::move(req));
+  if (!resp.ok()) co_return resp.error();
+  if (resp.value().status == Errc::revoked) tombstone_cap(cap.id);
+  if (resp.value().status != Errc::ok) co_return resp.value().status;
+  co_return XpmemGrant{cap.segid, resp.value().size,
+                       static_cast<AccessMode>(resp.value().access),
+                       resp.value().cap != 0 ? resp.value().cap : cap.id};
 }
 
 sim::Task<Result<void>> XememKernel::xpmem_release(const XpmemGrant& grant) {
@@ -1602,6 +2216,12 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
   const u64 sub = offset - page_off;
   const u64 pages = pages_for(sub + size);
 
+  // A capability known revoked fails fast locally — no protocol traffic,
+  // terminal status (the owner would only tell us the same thing).
+  if (cfg_.capabilities && grant.cap != 0 && revoked_caps_.contains(grant.cap)) {
+    co_return Errc::revoked;
+  }
+
   // Local fast path: exporter lives in this enclave (paper section 4.2:
   // "the attachment proceeds using the conventions of the local OS").
   auto it = exports_.find(grant.segid.value());
@@ -1609,6 +2229,16 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
     ExportRecord& rec = it->second;
     if ((page_off >> kPageShift) + pages > rec.pages) {
       co_return Errc::invalid_argument;
+    }
+    CapNode* node = nullptr;
+    if (cfg_.capabilities) {
+      // The local fast path enforces the same server-side validation the
+      // remote path gets: window, access mode, attach limit (checked on
+      // the page-rounded request, like the wire carries it).
+      const Errc ce = cap_check(grant.segid.value(), grant.cap, id(),
+                                grant.mode, page_off, pages * kPageSize, true,
+                                &node);
+      if (ce != Errc::ok) co_return ce;
     }
     auto frames =
         co_await os_.service_make_pfn_list(*rec.proc, rec.va + page_off, pages);
@@ -1625,7 +2255,18 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
     }
     const u64 handle = next_handle_++;
     ++rec.attachments;
-    pins_.emplace(handle, PinRecord{grant.segid, std::move(frames).value()});
+    u64 capid = 0;
+    if (node != nullptr) {
+      capid = node->id;
+      ++node->live_attaches;
+      ++cap_acct(grant.segid.value()).live_attaches;
+    }
+    pins_.emplace(handle,
+                  PinRecord{grant.segid, std::move(frames).value(), capid, id()});
+    if (cfg_.capabilities) {
+      cap_maps_[{grant.segid.value(), handle}].push_back(
+          CapMapRec{&attacher, va.value(), pages});
+    }
     co_return XpmemAttachment{grant.segid, va.value() + sub, va.value(), pages,
                               id(), handle, true};
   }
@@ -1639,7 +2280,14 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
   // refcount; the last detach releases it remotely. Safe against reuse of
   // stale frames because entries only exist while their remote pin does
   // (detach/crash erase them) and segids are never recycled.
-  if (cfg_.attach_reuse) {
+  //
+  // Under capabilities the cache cannot be trusted at all for remote
+  // segments: a revocation sweeping the owner's pins propagates here via
+  // a one-way note, and until it lands a cached entry would hand out
+  // frames the owner has already unpinned. Rights must be re-validated by
+  // the owner on every attach — reuse is a capabilities-off optimization
+  // (pay-for-use; see DESIGN.md §9).
+  if (cfg_.attach_reuse && !cfg_.capabilities) {
     for (auto& [key, entry] : attach_cache_) {
       if (key.first != grant.segid.value()) continue;
       if (entry.page_off > page_off ||
@@ -1665,9 +2313,12 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
   req.segid = grant.segid;
   req.offset = page_off;
   req.size = pages * kPageSize;
+  req.access = static_cast<u8>(grant.mode);
+  req.cap = grant.cap;
   auto resp = co_await request_to_owner(std::move(req));
   if (!resp.ok()) co_return resp.error();
   Message& r = resp.value();
+  if (r.status == Errc::revoked) tombstone_cap(grant.cap);
   if (r.status != Errc::ok) co_return r.status;
 
   mm::PfnList frames = decode_pfn_payload(r);
@@ -1680,10 +2331,23 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
                 : co_await os_.map_attachment_extents(attacher, r.extents,
                                                       false, writable);
   if (!va.ok()) co_return va.error();
+  if (cfg_.capabilities) {
+    // Revocation raced this attach and its fan-out overtook the response:
+    // the owner already released the pin, so the mapping we just installed
+    // is dead. Tear it down and surface the terminal status.
+    const u64 effective = grant.cap != 0 ? grant.cap : r.cap;
+    if (handle_revoked(grant.segid.value(), r.offset) ||
+        (effective != 0 && revoked_caps_.contains(effective))) {
+      co_await os_.unmap_attachment(attacher, va.value(), pages);
+      co_return Errc::revoked;
+    }
+    cap_maps_[{grant.segid.value(), r.offset}].push_back(
+        CapMapRec{&attacher, va.value(), pages});
+  }
   if (cfg_.attach_reuse) {
     attach_cache_.emplace(
         std::make_pair(grant.segid.value(), r.offset),
-        ReuseEntry{page_off, pages, std::move(frames), r.src, 1});
+        ReuseEntry{page_off, pages, std::move(frames), r.src, 1, grant.cap});
   }
   co_return XpmemAttachment{grant.segid, va.value() + sub, va.value(), pages,
                             r.src, r.offset, false};
@@ -1693,13 +2357,50 @@ sim::Task<Result<void>> XememKernel::xpmem_detach(os::Process& attacher,
                                                   const XpmemAttachment& att) {
   auto unmapped = co_await os_.unmap_attachment(attacher, att.map_base, att.pages);
   // A retried detach may find the range already unmapped by a failed
-  // predecessor (local half done, owner half lost with a dying forwarder).
+  // predecessor (local half done, owner half lost with a dying forwarder)
+  // — or by a revocation sweep that got here first.
   // Push on to the owner-side release anyway so its pin cannot leak.
   if (!unmapped.ok() && unmapped.error() != Errc::not_attached) co_return unmapped;
 
+  if (cfg_.capabilities) {
+    // Retire our teardown record for this mapping (the revocation fan-out
+    // must not unmap an address the application already recycled).
+    auto cm = cap_maps_.find({att.segid.value(), att.owner_handle});
+    if (cm != cap_maps_.end()) {
+      auto& recs = cm->second;
+      for (auto r = recs.begin(); r != recs.end(); ++r) {
+        if (r->map_base == att.map_base && r->proc == &attacher) {
+          recs.erase(r);
+          break;
+        }
+      }
+      if (recs.empty()) cap_maps_.erase(cm);
+    }
+  }
+
   if (att.local) {
     auto pin = pins_.find(att.owner_handle);
-    if (pin == pins_.end()) co_return Errc::not_attached;
+    if (pin == pins_.end()) {
+      // Revocation swept the pin before this detach: the teardown already
+      // happened, so the detach succeeds vacuously.
+      if (cfg_.capabilities && handle_revoked(att.segid.value(), att.owner_handle)) {
+        co_return Result<void>{};
+      }
+      co_return Errc::not_attached;
+    }
+    if (cfg_.capabilities && pin->second.cap != 0) {
+      auto t = cap_trees_.find(att.segid.value());
+      if (t != cap_trees_.end()) {
+        auto n = t->second.nodes.find(pin->second.cap);
+        if (n != t->second.nodes.end() && n->second.live_attaches > 0) {
+          --n->second.live_attaches;
+        }
+      }
+      if (auto* a = cap_accounting_.find(att.segid.value());
+          a != nullptr && a->live_attaches > 0) {
+        --a->live_attaches;
+      }
+    }
     unpin_frames(pin->second.frames.extents());
     pins_.erase(pin);
     auto ex = exports_.find(att.segid.value());
@@ -1715,6 +2416,13 @@ sim::Task<Result<void>> XememKernel::xpmem_detach(os::Process& attacher,
     co_return Result<void>{};
   }
 
+  if (cfg_.capabilities && handle_revoked(att.segid.value(), att.owner_handle)) {
+    // The owner already released this pin when it revoked the capability:
+    // a detach round-trip would only be told "revoked". Clean up locally.
+    attach_cache_.erase(reuse_key);
+    co_return Result<void>{};
+  }
+
   Message req;
   req.cmd = Cmd::detach;
   req.dst = EnclaveId{0};
@@ -1726,8 +2434,11 @@ sim::Task<Result<void>> XememKernel::xpmem_detach(os::Process& attacher,
   // (the owner is unreachable or gone; reusing its frames would be stale).
   attach_cache_.erase(reuse_key);
   if (!resp.ok()) co_return resp.error();
-  co_return resp.value().status == Errc::ok ? Result<void>{}
-                                            : Result<void>{resp.value().status};
+  // "revoked" on a detach means the owner tore the attachment down before
+  // we asked: the end state (unmapped, unpinned) is what a detach wants.
+  co_return resp.value().status == Errc::ok || resp.value().status == Errc::revoked
+      ? Result<void>{}
+      : Result<void>{resp.value().status};
 }
 
 namespace {
@@ -2139,6 +2850,8 @@ sim::Task<void> XememKernel::shard_handle(Message msg, ChannelEndpoint* from) {
     case Cmd::get:
     case Cmd::attach:
     case Cmd::detach:
+    case Cmd::cap_derive:
+    case Cmd::cap_revoke:
     case Cmd::release: {
       // Segid-keyed commands resolve the owner here and forward, exactly
       // like the classic name server (the response retraces through the
@@ -2153,11 +2866,14 @@ sim::Task<void> XememKernel::shard_handle(Message msg, ChannelEndpoint* from) {
       }
       const EnclaveId owner = it->second.owner;
       if (owner == id()) {
+        if (cap_crashpoint(msg)) co_return;
         Message resp2;
         switch (msg.cmd) {
           case Cmd::get: resp2 = co_await serve_get(msg); break;
           case Cmd::attach: resp2 = co_await serve_attach(msg); break;
           case Cmd::detach: resp2 = co_await serve_detach(msg); break;
+          case Cmd::cap_derive: resp2 = co_await serve_cap_derive(msg); break;
+          case Cmd::cap_revoke: resp2 = co_await serve_cap_revoke(msg); break;
           default: {
             dedup_store(msg.req_id, Message{});  // one-way release marker
             auto ex = exports_.find(msg.segid.value());

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/costs.hpp"
+#include "common/stats.hpp"
 #include "mm/pfn_list.hpp"
 #include "os/enclave.hpp"
 #include "xemem/api.hpp"
@@ -155,6 +156,28 @@ struct KernelConfig {
     ns_shards = std::move(groups);
     return *this;
   }
+
+  // ----- Capability model (opt-in; DESIGN.md §9). When off, the classic
+  // permit path is untouched: no cap state, no extra wire fields consulted,
+  // no per-segment accounting — pay-for-use like every other layer.
+
+  /// Treat segids as capabilities: xpmem_make mints an owner capability,
+  /// cap_derive mints restricted children, get/attach validate the
+  /// presented capability owner-side, and cap_revoke unmaps every live
+  /// attachment under the revoked subtree.
+  bool capabilities{false};
+  /// Max derivation-tree nodes per segment (derive past this fails with
+  /// Errc::out_of_memory).
+  u64 cap_table_cap{256};
+  /// Entry cap on the bounded accounting maps (per-segment accounting,
+  /// revoked-cap/handle tombstones). FIFO eviction past this.
+  u64 cap_accounting_cap{1024};
+
+  /// Convenience: turn on the capability model.
+  KernelConfig& enable_capabilities() {
+    capabilities = true;
+    return *this;
+  }
 };
 
 class XememKernel {
@@ -239,6 +262,40 @@ class XememKernel {
   /// memory regions").
   sim::Task<Result<std::vector<std::pair<std::string, Segid>>>> xpmem_list();
 
+  // --------------------------------------- capability model (DESIGN.md §9)
+
+  /// The owner capability minted for a local export by xpmem_make (only
+  /// when capabilities are enabled). Carries the widest rights the export
+  /// allows; hand-derived children to peers instead of this.
+  Result<Capability> cap_root(Segid segid) const;
+
+  /// Strict mode for a local export: once required, capless (classic
+  /// permit) get/attach of the segment are denied — every requester must
+  /// present a capability. Collectives and legacy tenants keep working on
+  /// segments that never call this.
+  Result<void> cap_require(os::Process& owner, Segid segid);
+
+  /// Mint a restricted child of @p parent. @p rights may only narrow:
+  /// access <= parent access, window within the parent window, and the
+  /// transferable/derivable bits only clearable — escalation attempts fail
+  /// with Errc::permission_denied. @p holder optionally binds the child to
+  /// one enclave (enforced when the parent is non-transferable semantics
+  /// demand it; 0 = any holder). Served by the segment owner; dedup-safe
+  /// on retry (a retried derive mints once).
+  sim::Task<Result<Capability>> cap_derive(const Capability& parent,
+                                           CapRights rights, u64 holder = 0);
+
+  /// Revoke @p cap and its whole derivation subtree. Live attachments
+  /// minted under the subtree are unmapped everywhere: owner pins release,
+  /// attacher PTEs clear, route/walk/reuse caches flush. Idempotent; a
+  /// revoked root leaves the segment reachable only by... nobody.
+  sim::Task<Result<void>> cap_revoke(const Capability& cap);
+
+  /// xpmem_get presenting a capability: the grant (and every attach under
+  /// it) is bound to the capability's rights, validated owner-side.
+  sim::Task<Result<XpmemGrant>> xpmem_get(const Capability& cap,
+                                          AccessMode want = AccessMode::read_write);
+
   // -------------------------------------------------------- diagnostics
 
   /// Pinned frames currently held on behalf of remote/local attachers.
@@ -280,6 +337,29 @@ class XememKernel {
   /// replica's @p n-th shard-service command (any role, any shard hosted
   /// here). Extends the crashpoint sweep to shard primaries and followers.
   void crash_after_shard_requests(u64 n) { crash_after_shard_requests_ = n; }
+  /// Same hook for the capability protocol: crash() this (owner) kernel
+  /// immediately before serving its @p n-th capability-relevant command
+  /// (cap_derive/cap_revoke, and get/attach presented with a capability).
+  /// Drives the revocation crashpoint sweep (0 disables).
+  void crash_after_cap_requests(u64 n) { crash_after_cap_requests_ = n; }
+
+  // -------------------------------------- capability diagnostics (§9)
+
+  /// Per-segment accounting surfaced in bounded memory (see
+  /// KernelConfig::cap_accounting_cap): counters survive node eviction
+  /// only as the aggregate Stats.
+  struct SegAccounting {
+    u64 live_attaches{0};  ///< attachments currently served by the owner
+    u64 derived_caps{0};   ///< children minted under the segment's tree
+    u64 revocations{0};    ///< revoke operations applied
+    u64 denials{0};        ///< get/attach/derive rejected by cap checks
+  };
+  /// Accounting for @p segid (zeros if unknown/evicted).
+  SegAccounting cap_accounting(Segid segid) const;
+  /// Live (non-revoked) nodes in a local segment's derivation tree.
+  u64 cap_count(Segid segid) const;
+  /// Revoked-capability tombstones held attacher-side (bounded).
+  u64 revoked_cap_count() const { return revoked_caps_.size(); }
 
   // ------------------------------------------ shard diagnostics (§6c)
 
@@ -351,6 +431,11 @@ class XememKernel {
     u64 shard_promotions{0}; ///< elections won as a shard replica
     u64 not_primary_rejects{0};  ///< writes bounced because we follow
     u64 no_quorum_rejects{0};    ///< terminal rejections past the grace
+    u64 caps_minted{0};      ///< owner capabilities minted by xpmem_make
+    u64 caps_derived{0};     ///< children minted by cap_derive
+    u64 revocations{0};      ///< cap_revoke operations applied as owner
+    u64 cap_denials{0};      ///< get/attach/derive rejected by cap checks
+    u64 revoke_unmaps{0};    ///< live attachments torn down by revocation
   };
   const Stats& stats() const { return stats_; }
 
@@ -368,6 +453,29 @@ class XememKernel {
   struct PinRecord {
     Segid segid;
     mm::PfnList frames;
+    u64 cap{0};  ///< capability the attach was validated under (0 = classic)
+    EnclaveId attacher{EnclaveId::invalid()};  ///< who holds the mapping
+  };
+
+  // ------------------------------------------- capability model (§9)
+
+  /// One node of a segment's derivation tree (owner-side authoritative
+  /// state). Rights are stored absolute (windows in segment coordinates),
+  /// so validation never needs to walk ancestors.
+  struct CapNode {
+    u64 id{0};
+    u64 parent{0};  ///< 0 for the root
+    CapRights rights{};
+    u64 holder{0};  ///< enclave bound to a non-transferable cap (0 = any)
+    bool revoked{false};
+    u64 live_attaches{0};  ///< owner-served attaches charged to this node
+    std::vector<u64> children;
+  };
+
+  struct CapTree {
+    u64 root{0};
+    bool require_cap{false};  ///< deny capless get/attach (strict mode)
+    std::unordered_map<u64, CapNode> nodes;
   };
 
   // Name-server global state.
@@ -545,6 +653,44 @@ class XememKernel {
   sim::Task<Message> serve_attach(const Message& msg);
   sim::Task<Message> serve_detach(const Message& msg);
 
+  // ----- Capability plumbing (DESIGN.md §9).
+  /// Owner-side: is @p c one of the capability-protocol commands served by
+  /// the export's enclave (rides the same segid routing as get/attach)?
+  static bool is_cap_cmd(Cmd c);
+  /// Deterministic sparse cap-id mint (splitmix64 over a per-kernel
+  /// counter; never 0, retried on intra-tree collision).
+  u64 mint_cap_id(CapTree& tree);
+  /// Resolve + validate a presented capability for @p segid. cap_id 0
+  /// resolves to the root unless the tree requires explicit caps.
+  /// @p attaching additionally checks the window ([offset,offset+size))
+  /// and the attach-count limit. Returns ok and sets @p out on success;
+  /// denials bump cap_denials accounting.
+  Errc cap_check(u64 segid, u64 cap_id, EnclaveId presenter, AccessMode want,
+                 u64 offset, u64 size, bool attaching, CapNode** out);
+  /// Owner-side derive core, shared by the local API fast path and
+  /// serve_cap_derive.
+  Result<Capability> cap_derive_local(u64 segid, u64 parent_id,
+                                      EnclaveId presenter, CapRights rights,
+                                      u64 holder);
+  sim::Task<Message> serve_cap_derive(const Message& msg);
+  /// Owner-side revoke: mark the subtree, release pins, notify attachers.
+  sim::Task<Message> serve_cap_revoke(const Message& msg);
+  /// Attacher-side handling of the owner's one-way revocation fan-out.
+  sim::Task<void> apply_cap_revoked(Message msg);
+  /// Attacher-side local teardown of every mapping under (segid, handle).
+  sim::Task<void> unmap_revoked_handle(u64 segid, u64 handle);
+  /// Record a revoked cap id / owner handle in the bounded tombstone sets.
+  void tombstone_cap(u64 cap_id);
+  void tombstone_handle(u64 segid, u64 handle);
+  bool handle_revoked(u64 segid, u64 handle) const {
+    return revoked_handles_.contains({segid, handle});
+  }
+  /// Deterministic crashpoint: consume the cap-request countdown; true
+  /// means the kernel just crashed and the caller must go silent.
+  bool cap_crashpoint(const Message& msg);
+  /// Per-segment accounting slot (bounded map).
+  SegAccounting& cap_acct(u64 segid);
+
   // Pin bookkeeping works run-at-a-time so extent-compressed frame lists
   // never expand just to bump refcounts.
   void pin_frames(const std::vector<hw::FrameExtent>& runs);
@@ -616,8 +762,36 @@ class XememKernel {
     mm::PfnList frames;
     EnclaveId owner;
     u64 refs;
+    u64 cap{0};  ///< capability the cached mapping was granted under
   };
   std::map<std::pair<u64, u64>, ReuseEntry> attach_cache_;
+
+  // ------------------------------------------- capability state (§9)
+  // Owner-side derivation trees keyed by segid (local exports only).
+  std::unordered_map<u64, CapTree> cap_trees_;
+  u64 next_cap_seq_{1};
+  // Attacher-side record of every local mapping made under a capability,
+  // keyed (segid, owner handle): the revocation fan-out tears these down
+  // without the application's cooperation.
+  struct CapMapRec {
+    os::Process* proc;
+    Vaddr map_base;
+    u64 pages;
+  };
+  std::map<std::pair<u64, u64>, std::vector<CapMapRec>> cap_maps_;
+  // Bounded tombstones: caps/handles known revoked, so later get/attach
+  // fail fast locally and detach of a dead handle stays silent.
+  BoundedAccountingMap<u64, u8> revoked_caps_;
+  struct PairHash {
+    size_t operator()(const std::pair<u64, u64>& p) const {
+      return std::hash<u64>()(p.first * 0x9e3779b97f4a7c15ull ^ p.second);
+    }
+  };
+  BoundedAccountingMap<std::pair<u64, u64>, u8, PairHash> revoked_handles_;
+  // Per-segment accounting (bounded).
+  BoundedAccountingMap<u64, SegAccounting> cap_accounting_;
+  u64 crash_after_cap_requests_{0};
+  u64 cap_requests_seen_{0};
 
   u64 next_handle_{1};
   u32 next_req_{1};

@@ -77,6 +77,16 @@ enum class Cmd : u8 {
                          ///  is live, primary is msg.src"
   hello,                 ///< one-way: "enclave msg.src is on this channel" —
                          ///  neighbors learn direct routes at registration
+
+  // Capability model (DESIGN.md §9): derivation and revocation are served
+  // by the segment owner; cap_revoked is the owner's one-way unmap fan-out
+  // to enclaves holding live attachments under a revoked subtree.
+  cap_derive,       ///< mint a restricted child of msg.cap (rights in payload)
+  cap_derive_resp,  ///< minted child id in resp.cap
+  cap_revoke,       ///< revoke msg.cap and its entire derivation subtree
+  cap_revoke_resp,
+  cap_revoked,      ///< one-way owner -> attacher: caps+handles in payload
+                    ///  are dead; unmap locally, drop caches
 };
 
 const char* cmd_name(Cmd c);
@@ -104,6 +114,10 @@ struct Message {
   u64 offset{0};
   u64 size{0};
   u8 access{1};  ///< requested/granted AccessMode (0 = read-only, 1 = rw)
+  /// Capability id presented with get/attach/cap_derive (0 = classic
+  /// permit path), or the minted child id on a cap_derive_resp. Validated
+  /// owner-side against the segment's derivation tree.
+  u64 cap{0};
   Errc status{Errc::ok};
 
   /// PFN list (attach_resp) or other bulk payload, as raw u64s.
@@ -146,6 +160,8 @@ struct Message {
       case Cmd::shard_sync_resp:
       case Cmd::shard_vote_resp:
       case Cmd::shard_probe_resp:
+      case Cmd::cap_derive_resp:
+      case Cmd::cap_revoke_resp:
         return true;
       default:
         return false;
@@ -163,6 +179,7 @@ struct Message {
       case Cmd::ns_announce:
       case Cmd::shard_announce:
       case Cmd::hello:
+      case Cmd::cap_revoked:
         return true;
       default:
         return false;
@@ -208,6 +225,11 @@ inline const char* cmd_name(Cmd c) {
     case Cmd::shard_probe_resp: return "shard_probe_resp";
     case Cmd::shard_announce: return "shard_announce";
     case Cmd::hello: return "hello";
+    case Cmd::cap_derive: return "cap_derive";
+    case Cmd::cap_derive_resp: return "cap_derive_resp";
+    case Cmd::cap_revoke: return "cap_revoke";
+    case Cmd::cap_revoke_resp: return "cap_revoke_resp";
+    case Cmd::cap_revoked: return "cap_revoked";
   }
   return "?";
 }

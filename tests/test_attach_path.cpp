@@ -433,5 +433,88 @@ TEST(AttachPath, RandomStormWithAllCachesOnIsLeakFree) {
   eng.run(main());
 }
 
+TEST(AttachPath, WarmCachesNeverBypassCapabilityChecks) {
+  // Regression for the capability model (DESIGN.md §9): the owner's walk
+  // cache and the attacher's mapping-reuse cache are populated by earlier
+  // rights-checked attaches, so a later attach under a narrower (or
+  // revoked) capability must be re-validated BEFORE any cache can answer
+  // — a cache hit is never an authorization.
+  sim::Engine eng(8107);
+  Node node(hw::Machine::r420());
+  KernelConfig cfg = fast_config();
+  cfg.enable_capabilities();
+  node.set_kernel_config(cfg);
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  auto& owner_k = node.add_cokernel("owner", 0, {4, 5}, 256_MiB);
+  auto& user_k = node.add_cokernel("user", 0, {6, 7}, 256_MiB);
+
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    os::Process* op = node.enclave("owner").create_process(8_MiB).value();
+    os::Process* up = node.enclave("user").create_process(1_MiB).value();
+    auto sid = co_await owner_k.xpmem_make(*op, op->image_base(), 1_MiB);
+    CO_ASSERT_TRUE(sid.ok());
+
+    // Warm the owner's walk cache with full-rights classic attaches. (The
+    // attacher-side reuse layer is disabled outright under capabilities —
+    // a cached mapping cannot observe revocation, so every attach must
+    // revisit the owner; the walk cache is the fast-path layer that
+    // remains, and it must re-validate.)
+    auto grant = co_await user_k.xpmem_get(sid.value());
+    CO_ASSERT_TRUE(grant.ok());
+    auto warm1 = co_await user_k.xpmem_attach(*up, grant.value(), 0, 1_MiB);
+    CO_ASSERT_TRUE(warm1.ok());
+    auto warm2 = co_await user_k.xpmem_attach(*up, grant.value(), 0, 1_MiB);
+    CO_ASSERT_TRUE(warm2.ok());
+    EXPECT_GT(owner_k.stats().walk_cache_hits, 0u)
+        << "the walk cache must actually be warm for this regression to bite";
+    EXPECT_EQ(user_k.stats().reuse_hits, 0u)
+        << "mapping reuse must be off while capabilities are enabled";
+
+    // A window-restricted capability over the same segment: attaching
+    // outside its window must be denied even though the owner could have
+    // answered from the memoized walk and the attacher holds the frames.
+    auto root = owner_k.cap_root(sid.value());
+    CO_ASSERT_TRUE(root.ok());
+    CapRights r;
+    r.access = AccessMode::read_only;
+    r.window_off = 0;
+    r.window_size = 64_KiB;
+    auto cap = co_await owner_k.cap_derive(root.value(), r);
+    CO_ASSERT_TRUE(cap.ok());
+    auto cgrant = co_await user_k.xpmem_get(cap.value(), AccessMode::read_only);
+    CO_ASSERT_TRUE(cgrant.ok());
+    const u64 denials_before = owner_k.stats().cap_denials;
+    EXPECT_EQ(
+        (co_await user_k.xpmem_attach(*up, cgrant.value(), 128_KiB, 64_KiB))
+            .error(),
+        Errc::permission_denied);
+    EXPECT_GT(owner_k.stats().cap_denials, denials_before)
+        << "the denial must come from the owner's rights check";
+
+    // Inside the window the ro capability maps — without write permission,
+    // despite the warm caches having been filled by a rw attach.
+    auto ro = co_await user_k.xpmem_attach(*up, cgrant.value(), 0, 64_KiB);
+    CO_ASSERT_TRUE(ro.ok());
+    co_await node.enclave("user").touch_attached(*up, ro.value().va,
+                                                 ro.value().pages);
+    const u64 evil = 1;
+    EXPECT_EQ(
+        node.enclave("user").proc_write(*up, ro.value().va, &evil, 8).error(),
+        Errc::permission_denied);
+
+    // After revocation, re-attaching through the dead capability is
+    // terminal even though the (segid, offset) range sits in every cache.
+    CO_ASSERT_TRUE((co_await owner_k.cap_revoke(cap.value())).ok());
+    EXPECT_EQ((co_await user_k.xpmem_attach(*up, cgrant.value(), 0, 64_KiB))
+                  .error(),
+              Errc::revoked);
+
+    // The classic grant (root capability) is untouched and still served.
+    CO_ASSERT_TRUE((co_await user_k.xpmem_attach(*up, grant.value(), 0, 64_KiB)).ok());
+  };
+  eng.run(main());
+}
+
 }  // namespace
 }  // namespace xemem

@@ -411,5 +411,123 @@ TEST(Collectives, MemberCrashFailsCollectiveWithinTimeout) {
   f.eng.run(main());
 }
 
+KernelConfig coll_cap_config() {
+  KernelConfig cfg;
+  cfg.request_timeout = 1_ms;
+  cfg.max_retries = 3;
+  cfg.backoff_base = 100_us;
+  cfg.backoff_max = 400_us;
+  cfg.enable_capabilities();
+  return cfg;
+}
+
+TEST(Collectives, BootstrapOverRevokedControlSegmentFailsFast) {
+  // Capability model (DESIGN.md §9): revocation of the control segment's
+  // root capability while members are still joining must fail their
+  // bootstrap with the terminal revoked status immediately — not spin the
+  // search/get/attach retry loop until the bootstrap deadline.
+  CollFixture f;
+  f.node.set_kernel_config(coll_cap_config());
+  f.cfg.timeout = 30_ms;
+  f.cfg.bootstrap_timeout = 20_ms;
+  auto placement = f.topo_three_enclaves();
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup(placement);
+    const u32 n = static_cast<u32>(f.members.size());
+
+    // Rank 0 starts alone: it exports the control segment, then blocks
+    // waiting for the member table (and will time out — nobody else ever
+    // finishes joining).
+    bool rank0_ok = false;
+    sim::Event rank0_done;
+    auto rank0 = [&]() -> sim::Task<void> {
+      auto c = co_await Comm::create(f.members[0], "revoked_boot", 0, n, f.cfg);
+      rank0_ok = c.ok();
+      rank0_done.set();
+    };
+    sim::Engine::current()->spawn(rank0());
+
+    // Wait until the export is discoverable, then revoke its root
+    // capability (cutting off classic capless access too).
+    XememKernel* owner = f.members[0].kernel;
+    Result<Segid> sid{Errc::unreachable};
+    for (int i = 0; i < 200 && !sid.ok(); ++i) {
+      sid = co_await f.members[1].kernel->xpmem_search("revoked_boot");
+      if (!sid.ok()) co_await sim::delay(100_us);
+    }
+    CO_ASSERT_TRUE(sid.ok());
+    auto root = owner->cap_root(sid.value());
+    CO_ASSERT_TRUE(root.ok());
+    CO_ASSERT_TRUE((co_await owner->cap_revoke(root.value())).ok());
+
+    // Every late joiner fails terminally and quickly.
+    const sim::TimePoint t0 = sim::now();
+    co_await f.run_ranks([&](u32 r) -> sim::Task<void> {
+      if (r == 0) co_return;
+      auto c = co_await Comm::create(f.members[r], "revoked_boot", r, n, f.cfg);
+      CO_ASSERT_TRUE(!c.ok());
+      EXPECT_EQ(c.error(), Errc::revoked) << "rank " << r;
+    });
+    // Fast: one search + one denied get per rank, nowhere near the
+    // bootstrap deadline.
+    EXPECT_LT(sim::now() - t0, 10_ms);
+
+    co_await rank0_done.wait();
+    EXPECT_FALSE(rank0_ok) << "rank 0 must not bootstrap alone";
+  };
+  f.eng.run(main());
+}
+
+TEST(Collectives, PostBootstrapRevocationIsTerminalNotAHang) {
+  // Revoking the control segment's root capability under a live
+  // communicator unmaps every member's attachment. The next collective
+  // must fail with a clean status on every rank within the op timeout —
+  // graceful degradation, and sticky like the member-crash path.
+  CollFixture f;
+  f.node.set_kernel_config(coll_cap_config());
+  f.cfg.timeout = 30_ms;
+  auto placement = f.topo_three_enclaves();
+  auto main = [&]() -> sim::Task<void> {
+    co_await f.setup(placement);
+    std::vector<std::unique_ptr<Comm>> comms;
+    co_await f.make_comms(&comms, "revoked_live");
+    CO_ASSERT_TRUE(comms[0] != nullptr);
+    // A healthy round first.
+    co_await f.run_ranks([&](u32 r) -> sim::Task<void> {
+      CO_ASSERT_TRUE((co_await comms[r]->barrier(Algo::flat)).ok());
+    });
+
+    XememKernel* owner = f.members[0].kernel;
+    auto sid = co_await f.members[2].kernel->xpmem_search("revoked_live");
+    CO_ASSERT_TRUE(sid.ok());
+    auto root = owner->cap_root(sid.value());
+    CO_ASSERT_TRUE(root.ok());
+    CO_ASSERT_TRUE((co_await owner->cap_revoke(root.value())).ok());
+
+    // Every rank's next barrier fails within the op timeout: the unmapped
+    // members fault gracefully on their first control-word access; rank 0
+    // (whose export is its own memory) times out waiting for them.
+    const sim::TimePoint t0 = sim::now();
+    co_await f.run_ranks([&](u32 r) -> sim::Task<void> {
+      auto res = co_await comms[r]->barrier(Algo::flat);
+      EXPECT_FALSE(res.ok()) << "rank " << r;
+    });
+    EXPECT_LE(sim::now() - t0, f.cfg.timeout + 1_ms);
+
+    // Sticky: a second round fails fast, no fresh timeout per call.
+    const sim::TimePoint t1 = sim::now();
+    co_await f.run_ranks([&](u32 r) -> sim::Task<void> {
+      EXPECT_FALSE((co_await comms[r]->barrier(Algo::flat)).ok());
+    });
+    EXPECT_LE(sim::now() - t1, f.cfg.timeout + 1_ms);
+    for (u32 r = 1; r < comms.size(); ++r) {
+      EXPECT_NE(comms[r]->status(), Errc::ok) << "rank " << r;
+    }
+    // Best-effort teardown must still terminate.
+    co_await f.finalize_comms(&comms);
+  };
+  f.eng.run(main());
+}
+
 }  // namespace
 }  // namespace xemem

@@ -141,6 +141,73 @@ TEST(Permissions, LazyLocalLinuxAttachHonorsReadOnly) {
   eng.run(main());
 }
 
+TEST(Permissions, VmGuestCannotEscalateMaxAccessOrCapabilityRights) {
+  // Negative escalation paths through a VM guest: neither the export's
+  // max_access nor a derived capability's narrowed rights can be widened
+  // by a guest — not via get, not via attach-and-write, and not via a
+  // remote cap_derive asking for more than its parent holds.
+  sim::Engine eng(27);
+  Node node(hw::Machine::r420());
+  KernelConfig cfg;
+  cfg.enable_capabilities();
+  node.set_kernel_config(cfg);
+  node.add_linux_mgmt("linux", 0, {0, 1, 2, 3});
+  node.add_cokernel("kitten0", 0, {6, 7}, 1_GiB);
+  node.add_vm("vm0", "linux", 256_MiB, {4, 5});
+
+  auto main = [&]() -> sim::Task<void> {
+    co_await node.start();
+    auto& kitten = node.kernel("kitten0");
+    auto& vm_k = node.kernel("vm0");
+    os::Process* owner = node.enclave("kitten0").create_process(2_MiB).value();
+    os::Process* guest = node.enclave("vm0").create_process(1_MiB).value();
+
+    // A read-only export: the guest cannot get rw, with or without caps.
+    auto ro_sid = co_await kitten.xpmem_make(*owner, owner->image_base(), 1_MiB,
+                                             "", AccessMode::read_only);
+    CO_ASSERT_TRUE(ro_sid.ok());
+    EXPECT_EQ((co_await vm_k.xpmem_get(ro_sid.value(), AccessMode::read_write))
+                  .error(),
+              Errc::permission_denied);
+
+    // A rw export narrowed to ro by capability: the guest holding the ro
+    // capability cannot escalate through any path.
+    auto sid = co_await kitten.xpmem_make(*owner, owner->image_base() + 1_MiB,
+                                          1_MiB);
+    CO_ASSERT_TRUE(sid.ok());
+    auto root = kitten.cap_root(sid.value());
+    CO_ASSERT_TRUE(root.ok());
+    CapRights ro;
+    ro.access = AccessMode::read_only;
+    auto cap = co_await kitten.cap_derive(root.value(), ro);
+    CO_ASSERT_TRUE(cap.ok());
+
+    // (a) rw get through the ro capability.
+    EXPECT_EQ((co_await vm_k.xpmem_get(cap.value(), AccessMode::read_write))
+                  .error(),
+              Errc::permission_denied);
+    // (b) the ro attachment's PTEs refuse guest writes.
+    auto grant = co_await vm_k.xpmem_get(cap.value(), AccessMode::read_only);
+    CO_ASSERT_TRUE(grant.ok());
+    auto att = co_await vm_k.xpmem_attach(*guest, grant.value(), 0, 1_MiB);
+    CO_ASSERT_TRUE(att.ok());
+    const u64 evil = 1;
+    EXPECT_EQ(
+        node.enclave("vm0").proc_write(*guest, att.value().va, &evil, 8).error(),
+        Errc::permission_denied);
+    // (c) a remote cap_derive from the guest asking for rw is denied
+    // owner-side — the denial is accounted against the segment.
+    const u64 denials = kitten.stats().cap_denials;
+    CapRights rw;
+    rw.access = AccessMode::read_write;
+    EXPECT_EQ((co_await vm_k.cap_derive(cap.value(), rw)).error(),
+              Errc::permission_denied);
+    EXPECT_GT(kitten.stats().cap_denials, denials);
+    CO_ASSERT_TRUE((co_await vm_k.xpmem_detach(*guest, att.value())).ok());
+  };
+  eng.run(main());
+}
+
 TEST(Discoverability, ListEnumeratesPublishedNames) {
   Fixture f;
   auto main = [&]() -> sim::Task<void> {
