@@ -63,6 +63,10 @@ if [[ $asan_only -eq 0 ]]; then
   echo "== capability revocation ablation smoke =="
   ./build/bench/ablation_capability --quick --json build/capability.json
   cp build/capability.json BENCH_capability.json
+
+  echo "== burst-buffer I/O cache ablation smoke =="
+  ./build/bench/ablation_iocache --quick --json build/iocache.json
+  cp build/iocache.json BENCH_iocache.json
 fi
 
 if [[ $fast -eq 0 ]]; then
@@ -87,6 +91,10 @@ if [[ $fast -eq 0 ]]; then
   echo "== capability revocation ablation smoke (asan) =="
   ./build-asan/bench/ablation_capability --quick --json build-asan/capability.json
   cp build-asan/capability.json BENCH_capability.json
+
+  echo "== burst-buffer I/O cache ablation smoke (asan) =="
+  ./build-asan/bench/ablation_iocache --quick --json build-asan/iocache.json
+  cp build-asan/iocache.json BENCH_iocache.json
 fi
 
 echo "all checks passed"

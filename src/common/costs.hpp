@@ -139,6 +139,19 @@ inline constexpr u64 kIbPerMtuOverhead = 60_ns;  // headers/credits per MTU
 inline constexpr u64 kIbEndToEndLatency = 1800_ns;
 
 // ---------------------------------------------------------------------------
+// Parallel-filesystem backing store (src/iocache/).
+//
+// The burst-buffer cache "fetches" missed blocks from a modeled PFS.
+// Calibrated to a Lustre-class filesystem of the paper's era as seen from
+// one compute node: ~100 us RPC round-trip to an OSS for a read, a bit
+// more for a write (commit), and a few GB/s of per-client streaming
+// bandwidth shared by all concurrent transfers (one SharedBandwidth
+// instance models the node's external I/O path).
+inline constexpr u64 kPfsReadLatency = 100_us;
+inline constexpr u64 kPfsWriteLatency = 150_us;
+inline constexpr double kPfsBytesPerNs = 2.0;  // ~2 GB/s external I/O path
+
+// ---------------------------------------------------------------------------
 // Shared-memory collectives (src/collectives/).
 //
 // The collective engine moves payloads through XEMEM attachments in

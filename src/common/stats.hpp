@@ -233,4 +233,21 @@ class LogHistogram {
   std::vector<u64> counts_;
 };
 
+/// Counters of the cross-enclave I/O cache (src/iocache/). Kept here so
+/// the attribution rules stay next to the kernel's own Stats conventions:
+/// a cache hit is an access served from a resident block (the attach it
+/// triggers — if any — is counted by the kernel as exactly one of
+/// local_attaches, attaches_issued, or reuse_hits, never two); a miss is
+/// an access that had to fetch from the backing store.
+struct IoCacheStats {
+  u64 hits{0};        ///< accesses served from a resident block
+  u64 misses{0};      ///< accesses that triggered a backing-store fetch
+  u64 evictions{0};   ///< blocks reclaimed to make room
+  u64 writebacks{0};  ///< dirty blocks flushed to the backing store
+  u64 revoked_evictions{0};  ///< evictions that live-unmapped attachers
+  u64 dirty_marks{0};        ///< write-back intents received from clients
+  u64 lease_wait_ns{0};      ///< simulated time evictions spent waiting
+                             ///  out unexpired attacher leases
+};
+
 }  // namespace xemem

@@ -1,0 +1,729 @@
+#include "iocache/cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "sim/engine.hpp"
+
+namespace xemem::iocache {
+
+namespace {
+/// Modeled CPU cost of one directory-entry probe (a couple of cache-line
+/// reads through the attachment) and of one server-side ring-op dispatch.
+inline constexpr u64 kDirProbeCost = 120_ns;
+inline constexpr u64 kServerOpCost = 250_ns;
+
+bool transient(Errc e) {
+  // Statuses an acquire loop retries after re-reading the directory: the
+  // entry it acted on was stale (eviction, crash, or recovery raced us).
+  return e == Errc::revoked || e == Errc::no_such_segid ||
+         e == Errc::retry_later || e == Errc::unreachable ||
+         e == Errc::busy || e == Errc::stale_epoch || e == Errc::no_quorum;
+}
+}  // namespace
+
+// =========================================================== CacheServer
+
+CacheServer::CacheServer(XememKernel& kernel, os::Enclave& os, u32 shard,
+                         Config cfg, BackingStore& store)
+    : kernel_(kernel), os_(os), shard_(shard), cfg_(cfg), store_(store) {}
+
+Result<void> CacheServer::write_entry(u64 block, const DirEntry& e) {
+  return os_.proc_write(*proc_, dir_va() + block * sizeof(DirEntry), &e,
+                        sizeof(DirEntry));
+}
+
+Result<DirEntry> CacheServer::read_entry(u64 block) const {
+  DirEntry e;
+  if (auto r = os_.proc_read(*proc_, dir_va() + block * sizeof(DirEntry), &e,
+                             sizeof(DirEntry));
+      !r.ok()) {
+    return r.error();
+  }
+  return e;
+}
+
+sim::Task<Result<void>> CacheServer::start(bool takeover) {
+  const u64 image = cfg_.dir_bytes() + cfg_.capacity_blocks * cfg_.block_bytes +
+                    64_KiB;
+  auto p = os_.create_process(image);
+  if (!p.ok()) co_return p.error();
+  proc_ = p.value();
+
+  // All entries start invalid (zeroed); slots pop lowest-first.
+  std::vector<u8> zeros(cfg_.dir_bytes(), 0);
+  if (auto w = os_.proc_write(*proc_, dir_va(), zeros.data(), zeros.size());
+      !w.ok()) {
+    co_return w.error();
+  }
+  free_slots_.clear();
+  for (u64 s = cfg_.capacity_blocks; s > 0; --s) free_slots_.push_back(s - 1);
+
+  // Export the directory. A takeover server races the name service's
+  // garbage collection of the crashed predecessor's name: retry until the
+  // lease GC frees it.
+  for (;;) {
+    auto sid = co_await kernel_.xpmem_make(*proc_, dir_va(), cfg_.dir_bytes(),
+                                           cfg_.dir_name(shard_));
+    if (sid.ok()) {
+      dir_segid_ = sid.value();
+      break;
+    }
+    if (!takeover || (sid.error() != Errc::already_exists &&
+                      sid.error() != Errc::retry_later)) {
+      co_return sid.error();
+    }
+    co_await sim::delay(cfg_.poll_interval * 20);
+  }
+
+  // Attach every client's request ring (clients export them under
+  // well-known names; poll until each appears).
+  rings_.clear();
+  rings_.resize(cfg_.num_clients);
+  for (u32 c = 0; c < cfg_.num_clients; ++c) {
+    Segid rsid{};
+    for (;;) {
+      if (dead()) co_return Errc::unreachable;
+      auto s = co_await kernel_.xpmem_search(cfg_.ring_name(shard_, c));
+      if (s.ok()) {
+        rsid = s.value();
+        break;
+      }
+      co_await sim::delay(cfg_.poll_interval * 4);
+    }
+    auto g = co_await kernel_.xpmem_get(rsid);
+    if (!g.ok()) co_return g.error();
+    auto a = co_await kernel_.xpmem_attach(*proc_, g.value(), 0,
+                                           cfg_.ring_bytes());
+    if (!a.ok()) co_return a.error();
+    rings_[c].grant = g.value();
+    rings_[c].att = a.value();
+    rings_[c].ring = std::make_unique<shm::RingConsumer>(
+        os_, *proc_, a.value().va, cfg_.ring_bytes(), cfg_.ring_slot_bytes);
+  }
+
+  auto* eng = sim::Engine::current();
+  eng->spawn(poll_loop());
+  if (cfg_.flush_period > 0) eng->spawn(flush_loop());
+  co_return Result<void>{};
+}
+
+sim::Task<void> CacheServer::poll_loop() {
+  while (!dead()) {
+    bool any = false;
+    for (auto& cr : rings_) {
+      if (dead()) co_return;
+      auto popped = co_await cr.ring->try_pop();
+      if (!popped.ok() || !popped.value().has_value()) continue;
+      const auto& bytes = *popped.value();
+      if (bytes.size() < sizeof(RingOp)) continue;
+      any = true;
+      RingOp op;
+      std::memcpy(&op, bytes.data(), sizeof(RingOp));
+      co_await proc_->core()->compute(kServerOpCost);
+      switch (op.op) {
+        case kOpFetch:
+          sim::Engine::current()->spawn(handle_fetch(op.block, op.stamp));
+          break;
+        case kOpTouch:
+        case kOpLease: {
+          if (op.op == kOpTouch) ++stats_.hits;
+          auto it = resident_.find(op.block);
+          if (it != resident_.end()) {
+            it->second.last_touch = ++touch_tick_;
+            it->second.referenced = true;
+            // Renewals are recorded even mid-eviction: a touch in flight
+            // when the entry flipped to EVICTING covers an access that
+            // started against a READY entry, and reclaim must outwait it.
+            it->second.lease_until =
+                std::max(it->second.lease_until, op.stamp);
+          }
+          break;
+        }
+        case kOpMarkDirty: {
+          auto it = resident_.find(op.block);
+          if (it != resident_.end() && it->second.version == op.stamp) {
+            ++stats_.dirty_marks;
+            if (!it->second.dirty) {
+              it->second.dirty = true;
+              ++dirty_count_;
+            }
+          }
+          break;
+        }
+        default:
+          XLOG_WARN("iocache", "server %u: unknown ring op %u", shard_, op.op);
+      }
+    }
+    if (!any) co_await sim::delay(cfg_.poll_interval);
+  }
+}
+
+sim::Task<void> CacheServer::flush_loop() {
+  while (!dead()) {
+    co_await sim::delay(cfg_.flush_period);
+    if (dead()) co_return;
+    co_await mu_.lock();
+    std::vector<u64> dirty;
+    for (const auto& [b, meta] : resident_) {
+      if (meta.dirty) dirty.push_back(b);
+    }
+    for (u64 b : dirty) {
+      if (dead()) break;
+      auto it = resident_.find(b);
+      if (it == resident_.end() || !it->second.dirty) continue;
+      (void)co_await writeback(b, it->second);
+    }
+    mu_.unlock();
+  }
+}
+
+sim::Task<void> CacheServer::handle_fetch(u64 block, u64 lease_stamp) {
+  co_await mu_.lock();
+  if (dead()) {
+    mu_.unlock();
+    co_return;
+  }
+  if (auto it = resident_.find(block); it != resident_.end()) {
+    // Raced another client's fetch (or a duplicate request): the block is
+    // already resident; just extend the requester's lease.
+    it->second.lease_until = std::max(it->second.lease_until, lease_stamp);
+    it->second.referenced = true;
+    mu_.unlock();
+    co_return;
+  }
+  if (resident_.size() >= cfg_.capacity_blocks) {
+    auto ev = co_await evict_one();
+    if (!ev.ok()) {  // crashed mid-eviction
+      mu_.unlock();
+      co_return;
+    }
+  }
+  ++stats_.misses;
+  const u64 slot = free_slots_.back();
+  free_slots_.pop_back();
+  const u64 version = ++version_seq_;
+  (void)write_entry(block, DirEntry{0, 0, version, kStateLoading});
+
+  const u64 stamp = co_await store_.read_block(block, cfg_.block_bytes);
+  if (dead()) {
+    mu_.unlock();
+    co_return;
+  }
+  // Install the block contents in the cache slot (stamp word verifies the
+  // end-to-end data path; the full block is charged through the socket).
+  (void)os_.proc_write(*proc_, slot_va(slot), &stamp, sizeof(stamp));
+  co_await os_.membw().transfer(cfg_.block_bytes);
+
+  auto sid = co_await kernel_.xpmem_make(*proc_, slot_va(slot),
+                                         cfg_.block_bytes, "");
+  if (dead() || !sid.ok()) {
+    free_slots_.push_back(slot);
+    (void)write_entry(block, DirEntry{0, 0, version, kStateInvalid});
+    mu_.unlock();
+    co_return;
+  }
+  BlockMeta meta;
+  meta.slot = slot;
+  meta.version = version;
+  meta.segid = sid.value();
+  meta.last_touch = ++touch_tick_;
+  meta.lease_until = lease_stamp;
+  u64 capid = 0;
+  if (cfg_.use_capabilities) {
+    auto root = kernel_.cap_root(sid.value());
+    if (root.ok()) {
+      CapRights rights;
+      rights.access = AccessMode::read_write;
+      rights.derivable = false;  // clients attach, they don't re-delegate
+      auto child = co_await kernel_.cap_derive(root.value(), rights);
+      if (dead()) {
+        mu_.unlock();
+        co_return;
+      }
+      if (child.ok()) {
+        meta.client_cap = child.value();
+        capid = child.value().id;
+      }
+    }
+  }
+  resident_.emplace(block, meta);
+  (void)write_entry(block,
+                    DirEntry{sid.value().value(), capid, version, kStateReady});
+  mu_.unlock();
+}
+
+u64 CacheServer::pick_victim() {
+  XEMEM_ASSERT_MSG(!resident_.empty(), "eviction from an empty cache");
+  if (cfg_.policy == EvictPolicy::lru) {
+    u64 victim = resident_.begin()->first;
+    u64 best = resident_.begin()->second.last_touch;
+    for (const auto& [b, meta] : resident_) {
+      if (meta.last_touch < best) {
+        best = meta.last_touch;
+        victim = b;
+      }
+    }
+    return victim;
+  }
+  // Clock: sweep block ids in order from the hand, granting one second
+  // chance to referenced blocks; two full sweeps always terminate.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto it = resident_.upper_bound(clock_hand_);
+    for (u64 n = 0; n <= resident_.size(); ++n) {
+      if (it == resident_.end()) it = resident_.begin();
+      if (!it->second.referenced) {
+        clock_hand_ = it->first;
+        return it->first;
+      }
+      it->second.referenced = false;
+      ++it;
+    }
+  }
+  return resident_.begin()->first;
+}
+
+bool CacheServer::evict_crashpoint() {
+  if (kernel_.is_crashed()) return true;
+  ++evict_steps_;
+  if (evict_crash_at_ != 0 && evict_steps_ >= evict_crash_at_) {
+    kernel_.crash();
+    return true;
+  }
+  return false;
+}
+
+sim::Task<Result<void>> CacheServer::writeback(u64 block, BlockMeta& meta) {
+  // Write-back step (also used by the background flusher): consume the
+  // crashpoint before doing anything, like the kernel's crash_after_*
+  // hooks, so the sweep never observes a half-flushed block.
+  if (evict_crashpoint()) co_return Errc::unreachable;
+  u64 stamp = 0;
+  if (auto r = os_.proc_read(*proc_, slot_va(meta.slot), &stamp, sizeof(stamp));
+      !r.ok()) {
+    co_return r.error();
+  }
+  co_await os_.membw().transfer(cfg_.block_bytes);
+  co_await store_.write_block(block, cfg_.block_bytes, stamp);
+  if (dead()) co_return Errc::unreachable;
+  meta.dirty = false;
+  XEMEM_ASSERT(dirty_count_ > 0);
+  --dirty_count_;
+  ++stats_.writebacks;
+  co_return Result<void>{};
+}
+
+sim::Task<Result<void>> CacheServer::evict_one() {
+  const u64 victim = pick_victim();
+  auto it = resident_.find(victim);
+  BlockMeta& meta = it->second;
+
+  // Step 1: publish EVICTING. Clients seeing it stop renewing and drop
+  // their handles; accesses that already read READY are covered by the
+  // renewal they pushed (recorded below even mid-eviction).
+  if (evict_crashpoint()) co_return Errc::unreachable;
+  (void)write_entry(victim, DirEntry{meta.segid.value(), meta.client_cap.id,
+                                     meta.version, kStateEvicting});
+
+  // Step 2: a dirty victim is written back before its memory can go.
+  if (meta.dirty) {
+    auto w = co_await writeback(victim, meta);
+    if (!w.ok()) co_return w.error();
+  }
+
+  // Step 3: reclaim. Capability mode live-unmaps every attacher through
+  // the revocation fan-out; lease mode waits every attacher lease out
+  // (clients promised to detach by expiry).
+  if (evict_crashpoint()) co_return Errc::unreachable;
+  if (cfg_.use_capabilities) {
+    if (meta.client_cap.valid()) {
+      const u64 before = kernel_.stats().revoke_unmaps;
+      auto rv = co_await kernel_.cap_revoke(meta.client_cap);
+      if (dead()) co_return Errc::unreachable;
+      if (rv.ok() && kernel_.stats().revoke_unmaps > before) {
+        ++stats_.revoked_evictions;
+      }
+    }
+  } else {
+    const sim::TimePoint t0 = sim::now();
+    while (sim::now() < meta.lease_until) {
+      if (dead()) co_return Errc::unreachable;
+      co_await sim::delay(std::min<sim::Duration>(cfg_.poll_interval,
+                                                  meta.lease_until - sim::now()));
+    }
+    stats_.lease_wait_ns += sim::now() - t0;
+    XEMEM_ASSERT_MSG(sim::now() >= meta.lease_until,
+                     "reclaim before attacher lease expiry");
+  }
+  // Withdraw the export. Lease-mode attachers drain as their janitors
+  // detach; a short busy window is expected, not an error.
+  for (;;) {
+    if (dead()) co_return Errc::unreachable;
+    auto rm = co_await kernel_.xpmem_remove(*proc_, meta.segid);
+    if (rm.ok() || rm.error() != Errc::busy) break;
+    co_await sim::delay(cfg_.poll_interval);
+  }
+
+  // Step 4: retire the entry (version bumps so stale write-back intents
+  // for the dead incarnation are ignored).
+  if (evict_crashpoint()) co_return Errc::unreachable;
+  (void)write_entry(victim, DirEntry{0, 0, meta.version, kStateInvalid});
+  free_slots_.push_back(meta.slot);
+  resident_.erase(it);
+  ++stats_.evictions;
+  co_return Result<void>{};
+}
+
+sim::Task<Result<void>> CacheServer::stop() {
+  co_await mu_.lock();
+  Result<void> out{};
+  // Reclaim every resident block (flushing dirty ones) so an orderly
+  // shutdown leaves no pins, no exports, and a fully-invalid directory.
+  while (!resident_.empty() && !kernel_.is_crashed()) {
+    auto ev = co_await evict_one();
+    if (!ev.ok()) {
+      out = ev.error();
+      break;
+    }
+  }
+  mu_.unlock();
+  stopped_ = true;  // poll/flush actors exit at their next wakeup
+  // Let a mid-sweep poll iteration finish before its rings are detached
+  // under it (an actor suspended inside try_pop resumes through the ring's
+  // attachment VA).
+  co_await sim::delay(cfg_.poll_interval * 4);
+  if (!kernel_.is_crashed()) {
+    for (auto& cr : rings_) {
+      if (cr.ring == nullptr) continue;
+      cr.ring.reset();
+      (void)co_await kernel_.xpmem_detach(*proc_, cr.att);
+      (void)co_await kernel_.xpmem_release(cr.grant);
+    }
+    for (int i = 0; i < 1000; ++i) {
+      auto rm = co_await kernel_.xpmem_remove(*proc_, dir_segid_);
+      if (rm.ok() || rm.error() != Errc::busy) break;
+      co_await sim::delay(cfg_.poll_interval);
+    }
+  }
+  co_return out;
+}
+
+// =========================================================== CacheClient
+
+CacheClient::CacheClient(XememKernel& kernel, os::Enclave& os, u32 client_id,
+                         Config cfg)
+    : kernel_(kernel), os_(os), id_(client_id), cfg_(cfg) {}
+
+sim::Task<Result<void>> CacheClient::start() {
+  auto p = os_.create_process(cfg_.num_servers * cfg_.ring_bytes() + 64_KiB);
+  if (!p.ok()) co_return p.error();
+  proc_ = p.value();
+  dirs_.assign(cfg_.num_servers, DirView{});
+  rings_.clear();
+  ring_segids_.clear();
+  for (u32 s = 0; s < cfg_.num_servers; ++s) {
+    const Vaddr base = proc_->image_base() + s * cfg_.ring_bytes();
+    auto prod = std::make_unique<shm::RingProducer>(
+        os_, *proc_, base, cfg_.ring_bytes(), cfg_.ring_slot_bytes);
+    if (auto i = prod->init(); !i.ok()) co_return i.error();
+    auto sid = co_await kernel_.xpmem_make(*proc_, base, cfg_.ring_bytes(),
+                                           cfg_.ring_name(s, id_));
+    if (!sid.ok()) co_return sid.error();
+    rings_.push_back(std::move(prod));
+    ring_segids_.push_back(sid.value());
+  }
+  if (!cfg_.use_capabilities) {
+    sim::Engine::current()->spawn(janitor());
+  }
+  co_return Result<void>{};
+}
+
+sim::Task<Result<void>> CacheClient::resolve_directory(u32 shard,
+                                                       Segid not_this) {
+  DirView& dv = dirs_[shard];
+  const Segid old_segid = dv.attached ? dv.segid : Segid{};
+  const EnclaveId old_owner =
+      dv.attached ? dv.att.owner : EnclaveId::invalid();
+  if (dv.attached) {
+    (void)co_await kernel_.xpmem_detach(*proc_, dv.att);
+    (void)co_await kernel_.xpmem_release(dv.grant);
+    dv.attached = false;
+  }
+  const sim::TimePoint t0 = sim::now();
+  for (;;) {
+    if (stopped_) co_return Errc::unreachable;
+    auto s = co_await kernel_.xpmem_search(cfg_.dir_name(shard));
+    // A presumed-dead server's name is lease-GC'd by the name service; a
+    // name that *persists* under the excluded segid well past that window
+    // means the server is slow, not dead — take it back.
+    const bool persists = sim::now() - t0 > cfg_.reresolve_patience;
+    if (s.ok() && (s.value() != not_this || persists)) {
+      auto g = co_await kernel_.xpmem_get(s.value());
+      if (g.ok()) {
+        auto a = co_await kernel_.xpmem_attach(*proc_, g.value(), 0,
+                                               cfg_.dir_bytes());
+        if (a.ok()) {
+          dv.segid = s.value();
+          dv.grant = g.value();
+          dv.att = a.value();
+          dv.attached = true;
+          if (old_owner.valid() && dv.segid != old_segid &&
+              dv.att.owner.value() != old_owner.value()) {
+            // The directory changed hands: the old server is gone. Release
+            // the pins our kernel still holds for its ring attachments so
+            // our exports don't stay busy on a ghost.
+            kernel_.reap_attacher_pins(old_owner);
+          }
+          co_return Result<void>{};
+        }
+        (void)co_await kernel_.xpmem_release(g.value());
+      }
+    }
+    co_await sim::delay(cfg_.poll_interval * 8);
+  }
+}
+
+Result<DirEntry> CacheClient::read_entry(u32 shard, u64 block) const {
+  const DirView& dv = dirs_[shard];
+  DirEntry e;
+  if (auto r = os_.proc_read(*proc_, dv.att.va + block * sizeof(DirEntry), &e,
+                             sizeof(DirEntry));
+      !r.ok()) {
+    return r.error();
+  }
+  return e;
+}
+
+sim::Task<Result<void>> CacheClient::push_op(u32 shard, RingOp op) {
+  auto r = co_await rings_[shard]->push(&op, sizeof(op), cfg_.poll_interval);
+  if (!r.ok()) co_return r.error();
+  co_return Result<void>{};
+}
+
+sim::Task<Result<CacheClient::Handle*>> CacheClient::acquire(u64 block,
+                                                             bool* cold) {
+  const u32 shard = cfg_.shard_of(block);
+  sim::TimePoint stall_since = sim::now();
+  sim::TimePoint next_fetch_push = 0;
+  for (;;) {
+    if (stopped_) co_return Errc::unreachable;
+    if (!dirs_[shard].attached) {
+      auto r = co_await resolve_directory(shard, dirs_[shard].segid);
+      if (!r.ok()) co_return r.error();
+      stall_since = sim::now();
+    }
+    co_await proc_->core()->compute(kDirProbeCost);
+    auto er = read_entry(shard, block);
+    if (!er.ok()) {
+      dirs_[shard].attached = false;
+      continue;
+    }
+    const DirEntry e = er.value();
+
+    // Cached-handle fast path: still the same incarnation, still leased.
+    if (auto h = handles_.find(block); h != handles_.end()) {
+      Handle& hd = h->second;
+      bool valid = e.state == kStateReady && hd.segid.value() == e.segid;
+      if (!cfg_.use_capabilities) {
+        valid = valid && sim::now() < hd.lease_expiry;
+      }
+      if (valid) {
+        u64 expiry = 0;
+        if (!cfg_.use_capabilities) {
+          hd.lease_expiry = sim::now() + cfg_.block_lease;
+          expiry = hd.lease_expiry;
+        }
+        auto pr = co_await push_op(shard, RingOp{kOpTouch, id_, block, expiry});
+        if (!pr.ok()) co_return pr.error();
+        co_return &hd;
+      }
+      co_await drop_handle(block);
+    }
+
+    if (e.state == kStateReady && e.segid != 0) {
+      // Attach-on-read: take a grant against the published incarnation.
+      Result<XpmemGrant> g = Errc::no_such_segid;
+      if (cfg_.use_capabilities && e.cap != 0) {
+        Capability c;
+        c.segid = Segid{e.segid};
+        c.id = e.cap;
+        g = co_await kernel_.xpmem_get(c);
+      } else {
+        g = co_await kernel_.xpmem_get(Segid{e.segid});
+      }
+      if (!g.ok()) {
+        if (!transient(g.error())) co_return g.error();
+        co_await sim::delay(cfg_.poll_interval);
+      } else {
+        auto a = co_await kernel_.xpmem_attach(*proc_, g.value(), 0,
+                                               cfg_.block_bytes);
+        if (!a.ok()) {
+          (void)co_await kernel_.xpmem_release(g.value());
+          if (!transient(a.error())) co_return a.error();
+          co_await sim::delay(cfg_.poll_interval);
+        } else {
+          // Eviction may have raced the attach: re-check the entry before
+          // trusting the mapping (the revocation fan-out already tore a
+          // raced mapping down under capabilities; under leases the entry
+          // flip to EVICTING is the signal to let go).
+          auto er2 = read_entry(shard, block);
+          if (!er2.ok() || er2.value().segid != e.segid ||
+              er2.value().state != kStateReady) {
+            (void)co_await kernel_.xpmem_detach(*proc_, a.value());
+            (void)co_await kernel_.xpmem_release(g.value());
+            co_await sim::delay(cfg_.poll_interval);
+          } else {
+            ++m_.attaches;
+            Handle hd;
+            hd.segid = Segid{e.segid};
+            hd.version = e.version;
+            hd.grant = g.value();
+            hd.att = a.value();
+            u64 expiry = 0;
+            if (!cfg_.use_capabilities) {
+              hd.lease_expiry = sim::now() + cfg_.block_lease;
+              expiry = hd.lease_expiry;
+            }
+            auto [ins, _] = handles_.insert_or_assign(block, hd);
+            auto pr =
+                co_await push_op(shard, RingOp{kOpLease, id_, block, expiry});
+            if (!pr.ok()) co_return pr.error();
+            co_return &ins->second;
+          }
+        }
+      }
+    } else {
+      // Miss (or miss in progress): ask for a fetch, poll the entry.
+      if (cold != nullptr && e.state == kStateLoading) *cold = true;
+      if (e.state == kStateInvalid && sim::now() >= next_fetch_push) {
+        const u64 expiry =
+            cfg_.use_capabilities
+                ? 0
+                : sim::now() + cfg_.block_lease + cfg_.fetch_retry;
+        auto pr = co_await push_op(shard, RingOp{kOpFetch, id_, block, expiry});
+        if (!pr.ok()) co_return pr.error();
+        if (cold != nullptr) *cold = true;
+        next_fetch_push = sim::now() + cfg_.fetch_retry;
+      }
+      co_await sim::delay(cfg_.poll_interval);
+    }
+
+    if (sim::now() - stall_since > cfg_.fetch_deadline) {
+      // The shard has not served us for a full deadline: presume its
+      // server dead, take the terminal fault, and re-resolve the
+      // directory by name against whatever recovers.
+      ++m_.reresolves;
+      auto rr = co_await resolve_directory(shard, dirs_[shard].segid);
+      if (!rr.ok()) co_return rr.error();
+      stall_since = sim::now();
+      next_fetch_push = 0;
+    }
+  }
+}
+
+sim::Task<Result<u64>> CacheClient::read(u64 block, bool* cold_out) {
+  const sim::TimePoint t0 = sim::now();
+  bool cold = false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto h = co_await acquire(block, &cold);
+    if (!h.ok()) co_return h.error();
+    u64 stamp = 0;
+    auto r = os_.proc_read(*proc_, h.value()->att.va, &stamp, sizeof(stamp));
+    if (!r.ok()) {
+      // Terminal fault on a cached handle (revocation or owner crash
+      // unmapped it under us): drop it and re-resolve.
+      ++m_.refaults;
+      co_await drop_handle(block);
+      continue;
+    }
+    co_await os_.membw().transfer(cfg_.block_bytes);
+    ++m_.ops;
+    if (cold) {
+      ++m_.cold;
+      m_.cold_ns.add(static_cast<double>(sim::now() - t0));
+    } else {
+      ++m_.hits;
+      m_.warm_ns.add(static_cast<double>(sim::now() - t0));
+    }
+    if (cold_out != nullptr) *cold_out = cold;
+    co_return stamp;
+  }
+  co_return Errc::unreachable;
+}
+
+sim::Task<Result<void>> CacheClient::write(u64 block, u64 stamp,
+                                           bool* cold_out) {
+  const sim::TimePoint t0 = sim::now();
+  bool cold = false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto h = co_await acquire(block, &cold);
+    if (!h.ok()) co_return h.error();
+    auto w = os_.proc_write(*proc_, h.value()->att.va, &stamp, sizeof(stamp));
+    if (!w.ok()) {
+      ++m_.refaults;
+      co_await drop_handle(block);
+      continue;
+    }
+    co_await os_.membw().transfer(cfg_.block_bytes);
+    const u64 version = h.value()->version;
+    auto pr = co_await push_op(cfg_.shard_of(block),
+                               RingOp{kOpMarkDirty, id_, block, version});
+    if (!pr.ok()) co_return pr.error();
+    ++m_.ops;
+    if (cold) {
+      ++m_.cold;
+      m_.cold_ns.add(static_cast<double>(sim::now() - t0));
+    } else {
+      ++m_.hits;
+      m_.warm_ns.add(static_cast<double>(sim::now() - t0));
+    }
+    if (cold_out != nullptr) *cold_out = cold;
+    co_return Result<void>{};
+  }
+  co_return Errc::unreachable;
+}
+
+sim::Task<void> CacheClient::drop_handle(u64 block) {
+  auto it = handles_.find(block);
+  if (it == handles_.end()) co_return;
+  Handle hd = it->second;
+  handles_.erase(it);
+  // Teardown tolerates every failure mode: a revoked handle detaches
+  // vacuously, a crashed owner times out, both leave no local state.
+  (void)co_await kernel_.xpmem_detach(*proc_, hd.att);
+  (void)co_await kernel_.xpmem_release(hd.grant);
+}
+
+sim::Task<void> CacheClient::janitor() {
+  // The lease contract: a client never uses a cached handle past its
+  // lease expiry, and detaches it promptly so the server's reclaim (which
+  // waits expiries out) finds the export drained.
+  while (!stopped_) {
+    co_await sim::delay(std::max<sim::Duration>(cfg_.block_lease / 4, 1));
+    if (stopped_) co_return;
+    std::vector<u64> expired;
+    for (const auto& [b, hd] : handles_) {
+      if (sim::now() >= hd.lease_expiry) expired.push_back(b);
+    }
+    std::sort(expired.begin(), expired.end());
+    for (u64 b : expired) co_await drop_handle(b);
+  }
+}
+
+sim::Task<void> CacheClient::shutdown() {
+  stopped_ = true;
+  std::vector<u64> blocks;
+  blocks.reserve(handles_.size());
+  for (const auto& [b, hd] : handles_) blocks.push_back(b);
+  std::sort(blocks.begin(), blocks.end());
+  for (u64 b : blocks) co_await drop_handle(b);
+  for (auto& dv : dirs_) {
+    if (!dv.attached) continue;
+    (void)co_await kernel_.xpmem_detach(*proc_, dv.att);
+    (void)co_await kernel_.xpmem_release(dv.grant);
+    dv.attached = false;
+  }
+}
+
+}  // namespace xemem::iocache

@@ -1,0 +1,94 @@
+#include "iocache/replay.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace xemem::iocache {
+
+namespace {
+
+std::vector<ReplayOp> checkpoint_trace(u32 rank, u32 nranks,
+                                       const ReplayParams& p, Rng& rng) {
+  // Each rank owns a contiguous stripe and sweeps it with writes; roughly
+  // one access in eight re-reads a recently written block (app-level
+  // verification), so the mix lands near 7:1 write:read.
+  const u64 stripe = std::max<u64>(1, p.file_blocks / nranks);
+  const u64 base = (rank % nranks) * stripe;
+  std::vector<ReplayOp> ops;
+  ops.reserve(p.ops_per_rank);
+  u64 cursor = 0;
+  for (u64 i = 0; i < p.ops_per_rank; ++i) {
+    if (i > 0 && rng.uniform_u64(8) == 0) {
+      const u64 back = 1 + rng.uniform_u64(4);
+      ops.push_back({base + (cursor + 2 * stripe - back % stripe) % stripe,
+                     false});
+    } else {
+      ops.push_back({base + cursor, true});
+      cursor = (cursor + 1) % stripe;
+    }
+  }
+  return ops;
+}
+
+std::vector<ReplayOp> dl_training_trace(u32 rank, u32 nranks,
+                                        const ReplayParams& p, Rng& rng) {
+  (void)rank;
+  (void)nranks;
+  // All ranks share one hot set (the cached training shard); each rank
+  // re-reads it in its own shuffled order, pass after pass. Reuse distance
+  // == hot-set size, so the hit rate tracks capacity / hot_set directly.
+  u64 hot = static_cast<u64>(static_cast<double>(p.file_blocks) *
+                             p.hot_fraction);
+  hot = std::max<u64>(2, std::min(hot, p.file_blocks));
+  std::vector<u64> order(hot);
+  for (u64 b = 0; b < hot; ++b) order[b] = b;
+  std::vector<ReplayOp> ops;
+  ops.reserve(p.ops_per_rank);
+  while (ops.size() < p.ops_per_rank) {
+    // Fisher-Yates with the rank-forked stream: a fresh shuffle per pass.
+    for (u64 i = hot - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.uniform_u64(i + 1)]);
+    }
+    for (u64 b : order) {
+      if (ops.size() >= p.ops_per_rank) break;
+      ops.push_back({b, false});
+    }
+  }
+  return ops;
+}
+
+std::vector<ReplayOp> scan_trace(u32 rank, u32 nranks, const ReplayParams& p,
+                                 Rng& rng) {
+  (void)rng;
+  // Streaming pass over the whole file from a rank-staggered start: every
+  // block touched once per lap, reuse only if ops_per_rank exceeds the
+  // file size (and even then the reuse distance is the full file).
+  const u64 start = (p.file_blocks * (rank % nranks)) / nranks;
+  std::vector<ReplayOp> ops;
+  ops.reserve(p.ops_per_rank);
+  for (u64 i = 0; i < p.ops_per_rank; ++i) {
+    ops.push_back({(start + i) % p.file_blocks, false});
+  }
+  return ops;
+}
+
+}  // namespace
+
+std::vector<ReplayOp> make_trace(Family family, u32 rank, u32 nranks,
+                                 const ReplayParams& p) {
+  XEMEM_ASSERT(nranks > 0 && p.file_blocks > 0);
+  // Seed per (family, rank) so each rank replays its own deterministic
+  // stream regardless of how many other ranks run.
+  Rng rng(p.seed ^ (static_cast<u64>(family) << 32) ^
+          (static_cast<u64>(rank) * 0x9e3779b97f4a7c15ull));
+  switch (family) {
+    case Family::checkpoint: return checkpoint_trace(rank, nranks, p, rng);
+    case Family::dl_training: return dl_training_trace(rank, nranks, p, rng);
+    case Family::scan: return scan_trace(rank, nranks, p, rng);
+  }
+  return {};
+}
+
+}  // namespace xemem::iocache

@@ -1,0 +1,53 @@
+// Replay-trace families for the I/O cache (src/iocache/).
+//
+// Three access-pattern families shaped like the composed-application I/O
+// the paper's burst-buffer use case targets. Each trace is a deterministic
+// function of (family, rank, nranks, params) so multi-client runs replay
+// identically across processes and across runs:
+//
+//   * checkpoint — HPC defensive I/O: each rank writes its stripe of the
+//     file sequentially, re-reading a recent block occasionally (app-level
+//     verification); write-heavy, near-zero cross-rank sharing.
+//   * dl_training — DL input pipeline: every rank re-reads a shared hot
+//     set of sample blocks in shuffled passes; read-only, high reuse —
+//     the family whose hit rate responds to cache capacity.
+//   * scan — BigData analytics: each rank streams the whole file once
+//     starting at a rank-staggered offset; read-only, minimal reuse.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace xemem::iocache {
+
+enum class Family { checkpoint, dl_training, scan };
+
+inline const char* family_name(Family f) {
+  switch (f) {
+    case Family::checkpoint: return "checkpoint";
+    case Family::dl_training: return "dl_training";
+    case Family::scan: return "scan";
+  }
+  return "?";
+}
+
+/// One replayed access.
+struct ReplayOp {
+  u64 block{0};
+  bool is_write{false};
+};
+
+struct ReplayParams {
+  u64 file_blocks{64};
+  u64 ops_per_rank{128};
+  u64 seed{1};
+  double hot_fraction{0.5};  ///< dl_training: hot-set size / file size
+};
+
+/// Deterministic trace for @p rank of @p nranks.
+std::vector<ReplayOp> make_trace(Family family, u32 rank, u32 nranks,
+                                 const ReplayParams& p);
+
+}  // namespace xemem::iocache

@@ -1,6 +1,7 @@
 #include "xemem/kernel.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "common/log.hpp"
 #include "sim/engine.hpp"
@@ -389,12 +390,53 @@ sim::Task<void> XememKernel::heartbeat_actor() {
     hb.req_id = g_req_counter++;
     hb.epoch = ns_epoch_;
     ChannelEndpoint* via = route_for(hb.dst);
-    if (via != nullptr) co_await via->send(std::move(hb));  // one-way
+    if (via != nullptr) {
+      ++stats_.heartbeats_sent;
+      co_await via->send(std::move(hb));  // one-way
+    }
     // Sharded registry: leases live on the shard replicas, so the renewal
     // fans out to every replica of every shard (not just a primary —
     // followers must not garbage-collect an idle owner after an election
     // just because the renewal raced the epoch bump).
-    if (sharding_enabled()) {
+    if (sharding_enabled() && cfg_.batched_heartbeats) {
+      // Batched renewal: one message per peer enclave per tick, carrying
+      // in the payload every additional shard that peer hosts a replica
+      // of. Ordered map: deterministic send order across runs.
+      std::map<u64, std::vector<u64>> by_peer;
+      for (u32 s = 0; s < cfg_.ns_shards.size(); ++s) {
+        for (u64 peer : cfg_.ns_shards[s]) {
+          if (peer == id().value()) {
+            // We host this replica ourselves: renew in place.
+            auto it = shard_replicas_.find(s);
+            if (it != shard_replicas_.end()) {
+              auto l = it->second->leases.find(id().value());
+              if (l != it->second->leases.end()) {
+                l->second = sim::now() + cfg_.lease_duration;
+              }
+            }
+            continue;
+          }
+          by_peer[peer].push_back(s);
+        }
+      }
+      for (auto& [peer, shards] : by_peer) {
+        if (stopped_ || crashed_) break;
+        Message shb;
+        shb.cmd = Cmd::heartbeat;
+        shb.dst = EnclaveId{peer};
+        shb.src = id();
+        shb.req_id = g_req_counter++;
+        shb.epoch = ns_epoch_;
+        shb.shard = static_cast<u32>(shards.front());
+        shb.shard_epoch = shard_believed_epoch(static_cast<u32>(shards.front()));
+        shb.payload.assign(shards.begin() + 1, shards.end());
+        ChannelEndpoint* out = route_for(shb.dst);
+        if (out != nullptr) {
+          ++stats_.heartbeats_sent;
+          co_await out->send(std::move(shb));  // one-way
+        }
+      }
+    } else if (sharding_enabled()) {
       for (u32 s = 0; s < cfg_.ns_shards.size(); ++s) {
         if (stopped_ || crashed_) break;
         for (u64 peer : cfg_.ns_shards[s]) {
@@ -418,7 +460,10 @@ sim::Task<void> XememKernel::heartbeat_actor() {
           shb.shard = s;
           shb.shard_epoch = shard_believed_epoch(s);
           ChannelEndpoint* out = route_for(shb.dst);
-          if (out != nullptr) co_await out->send(std::move(shb));  // one-way
+          if (out != nullptr) {
+            ++stats_.heartbeats_sent;
+            co_await out->send(std::move(shb));  // one-way
+          }
         }
       }
     }
@@ -1329,7 +1374,7 @@ sim::Task<Message> XememKernel::serve_get(const Message& msg) {
   resp.dst = msg.src;
   resp.epoch = ns_epoch_;
   auto it = exports_.find(msg.segid.value());
-  if (it == exports_.end()) {
+  if (it == exports_.end() || it->second.removing) {
     resp.status = Errc::no_such_segid;
     co_return resp;
   }
@@ -1369,7 +1414,7 @@ sim::Task<Message> XememKernel::serve_attach(const Message& msg) {
   resp.epoch = ns_epoch_;
 
   auto it = exports_.find(msg.segid.value());
-  if (it == exports_.end()) {
+  if (it == exports_.end() || it->second.removing) {
     resp.status = Errc::no_such_segid;
     co_return resp;
   }
@@ -1397,6 +1442,11 @@ sim::Task<Message> XememKernel::serve_attach(const Message& msg) {
     }
   }
 
+  // Reserve the attachment before the page-table walk suspends: a
+  // concurrent remove must see the count and return busy rather than
+  // erase the export out from under the walk.
+  ++rec.attachments;
+
   mm::PfnList frames;
   const auto walk_key = std::make_tuple(msg.segid.value(), msg.offset, pages);
   auto memo = walk_cache_.find(walk_key);
@@ -1411,6 +1461,7 @@ sim::Task<Message> XememKernel::serve_attach(const Message& msg) {
     auto walked = co_await os_.service_make_pfn_list(*rec.proc,
                                                      rec.va + msg.offset, pages);
     if (!walked.ok()) {
+      --rec.attachments;
       resp.status = walked.error();
       co_return resp;
     }
@@ -1428,7 +1479,6 @@ sim::Task<Message> XememKernel::serve_attach(const Message& msg) {
   ++stats_.attaches_served;
   stats_.pages_shared += frames.page_count();
   const u64 handle = next_handle_++;
-  ++rec.attachments;
   resp.status = Errc::ok;
   resp.segid = msg.segid;
   resp.offset = handle;  // owner-side pin handle, echoed back on detach
@@ -1487,6 +1537,38 @@ sim::Task<Message> XememKernel::serve_detach(const Message& msg) {
   }
   resp.status = Errc::ok;
   co_return resp;
+}
+
+u64 XememKernel::reap_attacher_pins(EnclaveId attacher) {
+  u64 released = 0;
+  for (auto it = pins_.begin(); it != pins_.end();) {
+    PinRecord& pin = it->second;
+    if (pin.attacher.value() != attacher.value()) {
+      ++it;
+      continue;
+    }
+    unpin_frames(pin.frames.extents());
+    auto ex = exports_.find(pin.segid.value());
+    if (ex != exports_.end() && ex->second.attachments > 0) {
+      --ex->second.attachments;
+    }
+    if (cfg_.capabilities && pin.cap != 0) {
+      auto t = cap_trees_.find(pin.segid.value());
+      if (t != cap_trees_.end()) {
+        auto n = t->second.nodes.find(pin.cap);
+        if (n != t->second.nodes.end() && n->second.live_attaches > 0) {
+          --n->second.live_attaches;
+        }
+      }
+      if (auto* a = cap_accounting_.find(pin.segid.value());
+          a != nullptr && a->live_attaches > 0) {
+        --a->live_attaches;
+      }
+    }
+    ++released;
+    it = pins_.erase(it);
+  }
+  return released;
 }
 
 // --------------------------------------------- capability model (§9)
@@ -2069,6 +2151,10 @@ sim::Task<Result<void>> XememKernel::xpmem_remove(os::Process& owner, Segid segi
   if (it == exports_.end()) co_return Errc::no_such_segid;
   if (it->second.proc != &owner) co_return Errc::permission_denied;
   if (it->second.attachments > 0) co_return Errc::busy;
+  // Tombstone before the deregistration round-trip: an attach or get that
+  // arrives while we await below must not slip past the busy check above
+  // (it would pin frames on an export about to be erased).
+  it->second.removing = true;
 
   if (is_ns_ && !sharding_enabled()) {
     co_await os_.service_core()->run_irq(costs::kNameServerOp);
@@ -2087,8 +2173,14 @@ sim::Task<Result<void>> XememKernel::xpmem_remove(os::Process& owner, Segid segi
       req.shard_epoch = shard_believed_epoch(req.shard);
     }
     auto resp = co_await request(std::move(req));
-    if (!resp.ok()) co_return resp.error();
-    if (resp.value().status != Errc::ok) co_return resp.value().status;
+    if (!resp.ok()) {
+      it->second.removing = false;
+      co_return resp.error();
+    }
+    if (resp.value().status != Errc::ok) {
+      it->second.removing = false;
+      co_return resp.value().status;
+    }
   }
   exports_.erase(it);
   // The export is gone: memoized walks for it must never serve again (a
@@ -2103,6 +2195,7 @@ sim::Task<Result<XpmemGrant>> XememKernel::xpmem_get(Segid segid, AccessMode wan
   if (!segid.valid()) co_return Errc::invalid_argument;
   // Local fast path.
   auto it = exports_.find(segid.value());
+  if (it != exports_.end() && it->second.removing) co_return Errc::no_such_segid;
   if (it != exports_.end()) {
     if (want == AccessMode::read_write &&
         it->second.max_access == AccessMode::read_only) {
@@ -2225,6 +2318,7 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
   // Local fast path: exporter lives in this enclave (paper section 4.2:
   // "the attachment proceeds using the conventions of the local OS").
   auto it = exports_.find(grant.segid.value());
+  if (it != exports_.end() && it->second.removing) co_return Errc::no_such_segid;
   if (it != exports_.end()) {
     ExportRecord& rec = it->second;
     if ((page_off >> kPageShift) + pages > rec.pages) {
@@ -2240,9 +2334,15 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
                                 &node);
       if (ce != Errc::ok) co_return ce;
     }
+    // Reserved before the walk suspends so a concurrent remove returns
+    // busy instead of erasing the export under us.
+    ++rec.attachments;
     auto frames =
         co_await os_.service_make_pfn_list(*rec.proc, rec.va + page_off, pages);
-    if (!frames.ok()) co_return frames.error();
+    if (!frames.ok()) {
+      --rec.attachments;
+      co_return frames.error();
+    }
     pin_frames(frames.value().extents());
     ++stats_.local_attaches;
     stats_.pages_shared += frames.value().page_count();
@@ -2251,10 +2351,10 @@ sim::Task<Result<XpmemAttachment>> XememKernel::xpmem_attach(os::Process& attach
                                           grant.mode == AccessMode::read_write);
     if (!va.ok()) {
       unpin_frames(frames.value().extents());
+      --rec.attachments;
       co_return va.error();
     }
     const u64 handle = next_handle_++;
-    ++rec.attachments;
     u64 capid = 0;
     if (node != nullptr) {
       capid = node->id;
@@ -2712,8 +2812,18 @@ sim::Task<void> XememKernel::shard_handle(Message msg, ChannelEndpoint* from) {
     // owner must never be garbage-collected because its renewal raced an
     // election it had not heard about.
     if (cfg_.lease_duration > 0 && msg.src.valid()) {
-      auto l = rep->leases.find(msg.src.value());
-      if (l != rep->leases.end()) l->second = sim::now() + cfg_.lease_duration;
+      auto renew = [&](ShardReplica* r) {
+        auto l = r->leases.find(msg.src.value());
+        if (l != r->leases.end()) l->second = sim::now() + cfg_.lease_duration;
+      };
+      renew(rep);
+      // Batched renewal (sender has batched_heartbeats on): the payload
+      // lists every additional shard we host whose renewal the sender
+      // coalesced into this one message.
+      for (u64 s : msg.payload) {
+        auto extra = shard_replicas_.find(static_cast<u32>(s));
+        if (extra != shard_replicas_.end()) renew(extra->second.get());
+      }
     }
     co_return;  // one-way
   }

@@ -157,6 +157,21 @@ struct KernelConfig {
     return *this;
   }
 
+  /// Coalesce lease renewals: instead of one heartbeat message per
+  /// (shard, replica) pair per tick, send each peer enclave a single
+  /// message per tick listing every shard it hosts a replica of (the
+  /// name server keeps its one per-tick message either way). First step
+  /// of the ROADMAP "registry write batching" item: segment-heavy
+  /// workloads (the I/O cache's per-block exports) otherwise pay
+  /// shards x replicas renewal messages per enclave per tick.
+  bool batched_heartbeats{false};
+
+  /// Convenience: turn on heartbeat batching.
+  KernelConfig& enable_heartbeat_batching() {
+    batched_heartbeats = true;
+    return *this;
+  }
+
   // ----- Capability model (opt-in; DESIGN.md §9). When off, the classic
   // permit path is untouched: no cap state, no extra wire fields consulted,
   // no per-segment accounting — pay-for-use like every other layer.
@@ -222,6 +237,16 @@ class XememKernel {
   /// and then garbage-collects the enclave's segids, names, and routes.
   void crash();
   bool is_crashed() const { return crashed_; }
+
+  /// Owner-side cleanup once an *attacher* enclave is known dead (its
+  /// name-service lease expired, or an application-level protocol — e.g.
+  /// the I/O cache's directory re-resolution — confirmed the crash):
+  /// release every frame pinned on the dead enclave's behalf and drop the
+  /// corresponding export attachment counts, so exports withdrawn later
+  /// don't stay busy waiting for detaches that can never arrive. The dead
+  /// enclave's own page tables are its crashed kernel's problem; only
+  /// this owner's bookkeeping is touched. Returns the pins released.
+  u64 reap_attacher_pins(EnclaveId attacher);
 
   // --------------------------------------------------------- XPMEM API
 
@@ -436,6 +461,7 @@ class XememKernel {
     u64 revocations{0};      ///< cap_revoke operations applied as owner
     u64 cap_denials{0};      ///< get/attach/derive rejected by cap checks
     u64 revoke_unmaps{0};    ///< live attachments torn down by revocation
+    u64 heartbeats_sent{0};  ///< lease-renewal messages put on the wire
   };
   const Stats& stats() const { return stats_; }
 
@@ -448,6 +474,9 @@ class XememKernel {
     AccessMode max_access{AccessMode::read_write};
     u64 attachments{0};  // outstanding attach count (blocks remove)
     u64 grants{0};
+    bool removing{false};  // remove in flight: new gets/attaches refused so
+                           // none can slip in while the remove awaits the
+                           // name-service deregistration
   };
 
   struct PinRecord {
